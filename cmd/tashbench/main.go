@@ -1,0 +1,103 @@
+// Command tashbench regenerates the tables and figures of the
+// Tashkent paper's evaluation (§9). Each experiment sweeps replica
+// counts for the systems under comparison and prints throughput and
+// response-time series.
+//
+// Usage:
+//
+//	tashbench -exp fig4            # AllUpdates throughput/RT, shared IO
+//	tashbench -exp all -scale 5    # everything, at 1/5 of paper latencies
+//	tashbench -exp fig14 -replicas 1,4,8,15
+//
+// Experiments: fig4 (covers Fig 4+5), fig6 (6+7), fig8 (8+9),
+// fig10 (10+11), fig12 (12+13), fig14, standalone (§9.2 text),
+// recovery (§9.6), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tashkent/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|all")
+		scale    = flag.Int("scale", 10, "divide paper disk latencies by this factor (1 = full 8ms fsyncs)")
+		replicas = flag.String("replicas", "1,2,4,8,12,15", "comma-separated replica counts to sweep")
+		clients  = flag.Int("clients", 10, "closed-loop clients per replica")
+		measure  = flag.Duration("measure", 1500*time.Millisecond, "measurement window per point")
+		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warmup per point")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	counts, err := parseCounts(*replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := harness.Options{
+		Scale:             *scale,
+		ReplicaCounts:     counts,
+		ClientsPerReplica: *clients,
+		Warmup:            *warmup,
+		Measure:           *measure,
+		Seed:              *seed,
+		Out:               os.Stdout,
+	}
+
+	runs := map[string]func() error{
+		"fig4":  func() error { _, err := harness.Fig4and5(opt); return err },
+		"fig6":  func() error { _, err := harness.Fig6and7(opt); return err },
+		"fig8":  func() error { _, err := harness.Fig8and9(opt); return err },
+		"fig10": func() error { _, err := harness.Fig10and11(opt); return err },
+		"fig12": func() error { _, err := harness.Fig12and13(opt); return err },
+		"fig14": func() error { _, err := harness.Fig14(opt); return err },
+		"standalone": func() error {
+			if _, err := harness.RunStandaloneComparison(false, opt); err != nil {
+				return err
+			}
+			_, err := harness.RunStandaloneComparison(true, opt)
+			return err
+		},
+		"recovery": func() error { _, err := harness.RunRecoveryExperiment(opt); return err },
+	}
+	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := runs[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := runs[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", *exp, err)
+		os.Exit(1)
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad replica count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

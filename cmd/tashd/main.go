@@ -1,0 +1,220 @@
+// Command tashd runs one database replica as a TCP daemon against a
+// certd group. It exposes a small key-value transaction API over the
+// same framed transport the internal components use:
+//
+//	method "kv.get"    request: gob(GetReq)    response: gob(GetResp)
+//	method "kv.put"    request: gob(PutReq)    response: gob(PutResp)
+//	method "kv.txn"    request: gob(TxnReq)    response: gob(TxnResp)
+//
+// kv.txn executes a multi-operation read/update transaction atomically
+// through the full replication protocol (certification, global
+// ordering, writeset propagation).
+//
+// Example against a local certd group:
+//
+//	tashd -id 1 -listen :7200 -mode mw -certifiers localhost:7100,localhost:7101,localhost:7102
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tashkent/internal/certifier"
+	"tashkent/internal/proxy"
+	"tashkent/internal/replica"
+	"tashkent/internal/simdisk"
+	"tashkent/internal/transport"
+)
+
+// GetReq reads one column.
+type GetReq struct{ Table, Key, Col string }
+
+// GetResp carries the value.
+type GetResp struct {
+	Value []byte
+	Found bool
+}
+
+// PutReq updates one column in its own transaction.
+type PutReq struct {
+	Table, Key, Col string
+	Value           []byte
+}
+
+// PutResp reports the outcome.
+type PutResp struct{ Aborted bool }
+
+// TxnOp is one operation inside a kv.txn request.
+type TxnOp struct {
+	// Kind: "read", "update", "insert", "delete".
+	Kind  string
+	Table string
+	Key   string
+	Cols  map[string][]byte
+}
+
+// TxnReq executes ops atomically.
+type TxnReq struct{ Ops []TxnOp }
+
+// TxnResp returns read results in op order (nil for writes).
+type TxnResp struct {
+	Reads   []map[string][]byte
+	Aborted bool
+}
+
+func main() {
+	var (
+		id         = flag.Int("id", 1, "replica id (unique across replicas)")
+		listen     = flag.String("listen", ":7200", "listen address")
+		modeFlag   = flag.String("mode", "mw", "commit strategy: base|mw|api")
+		certifiers = flag.String("certifiers", "localhost:7100", "comma-separated certifier addresses (id order)")
+		fsyncUS    = flag.Int("fsync-us", 800, "simulated fsync latency in microseconds")
+		dedicated  = flag.Bool("dedicated-io", false, "database files on ramdisk; disk serves only the log")
+	)
+	flag.Parse()
+
+	var mode proxy.Mode
+	switch *modeFlag {
+	case "base":
+		mode = proxy.Base
+	case "mw":
+		mode = proxy.TashkentMW
+	case "api":
+		mode = proxy.TashkentAPI
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	var clients []transport.Client
+	for _, addr := range strings.Split(*certifiers, ",") {
+		clients = append(clients, transport.DialTCP(strings.TrimSpace(addr)))
+	}
+	rep := replica.Open(replica.Config{
+		ID:   *id,
+		Mode: mode,
+		IO: replica.IOConfig{
+			Profile: simdisk.Profile{
+				FsyncLatency: time.Duration(*fsyncUS) * time.Microsecond,
+				FsyncJitter:  time.Duration(*fsyncUS/4) * time.Microsecond,
+			},
+			Dedicated: *dedicated,
+			Seed:      int64(*id),
+		},
+		Cert:               certifier.NewClient(clients, 10*time.Second),
+		LocalCertification: true,
+		EagerPreCert:       true,
+		StalenessBound:     time.Second,
+	})
+
+	srv, err := transport.ServeTCP(*listen, handler(rep), 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tashd replica %d (%s) listening on %s\n", *id, mode, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	rep.Close()
+}
+
+func handler(rep *replica.Replica) transport.Handler {
+	return func(method string, req []byte) ([]byte, error) {
+		switch method {
+		case "kv.get":
+			var r GetReq
+			if err := dec(req, &r); err != nil {
+				return nil, err
+			}
+			tx, err := rep.Begin()
+			if err != nil {
+				return nil, err
+			}
+			defer tx.Abort()
+			v, ok, err := tx.ReadCol(r.Table, r.Key, r.Col)
+			if err != nil {
+				return nil, err
+			}
+			return enc(GetResp{Value: v, Found: ok})
+		case "kv.put":
+			var r PutReq
+			if err := dec(req, &r); err != nil {
+				return nil, err
+			}
+			tx, err := rep.Begin()
+			if err != nil {
+				return nil, err
+			}
+			if err := tx.Update(r.Table, r.Key, map[string][]byte{r.Col: r.Value}); err != nil {
+				tx.Abort()
+				return enc(PutResp{Aborted: true})
+			}
+			if err := tx.Commit(); err != nil {
+				return enc(PutResp{Aborted: true})
+			}
+			return enc(PutResp{})
+		case "kv.txn":
+			var r TxnReq
+			if err := dec(req, &r); err != nil {
+				return nil, err
+			}
+			return runTxn(rep, r)
+		default:
+			return nil, fmt.Errorf("tashd: unknown method %q", method)
+		}
+	}
+}
+
+func runTxn(rep *replica.Replica, r TxnReq) ([]byte, error) {
+	tx, err := rep.Begin()
+	if err != nil {
+		return nil, err
+	}
+	resp := TxnResp{Reads: make([]map[string][]byte, len(r.Ops))}
+	for i, op := range r.Ops {
+		var err error
+		switch op.Kind {
+		case "read":
+			resp.Reads[i], _, err = tx.Read(op.Table, op.Key)
+		case "update":
+			err = tx.Update(op.Table, op.Key, op.Cols)
+		case "insert":
+			err = tx.Insert(op.Table, op.Key, op.Cols)
+		case "delete":
+			err = tx.Delete(op.Table, op.Key)
+		default:
+			err = fmt.Errorf("bad op kind %q", op.Kind)
+		}
+		if err != nil {
+			tx.Abort()
+			resp.Aborted = true
+			return enc(resp)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		resp.Aborted = true
+	}
+	return enc(resp)
+}
+
+func enc(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func dec(b []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

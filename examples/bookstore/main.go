@@ -1,0 +1,68 @@
+// Bookstore: the TPC-W-flavoured scenario from the paper's
+// motivation — an online store where browsing (read-only) traffic
+// vastly outnumbers order placement. Read-only transactions run
+// entirely on their local replica and never block or abort (the GSI
+// property), while orders replicate through certification.
+//
+// The example runs the same mixed load against Base and Tashkent-MW
+// with the paper's disk model (scaled 10x) and prints the throughput
+// difference.
+//
+//	go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tashkent"
+	"tashkent/internal/workload"
+)
+
+func main() {
+	for _, mode := range []tashkent.Mode{tashkent.ModeBase, tashkent.ModeTashkentMW} {
+		res, err := run(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s throughput=%6.0f txn/s  read RT=%v  update RT=%v  aborts=%.1f%%\n",
+			mode, res.Throughput,
+			res.ReadRT.Mean.Round(100*time.Microsecond),
+			res.UpdateRT.Mean.Round(100*time.Microsecond),
+			res.AbortRate()*100)
+	}
+}
+
+func run(mode tashkent.Mode) (workload.Result, error) {
+	db, err := tashkent.Start(tashkent.Config{
+		Mode:        mode,
+		Replicas:    4,
+		DiskProfile: tashkent.PaperDisks(10), // 0.8 ms fsyncs
+	})
+	if err != nil {
+		return workload.Result{}, err
+	}
+	defer db.Close()
+
+	store := &workload.TPCW{Items: 500, UpdateFraction: 0.2}
+	begin0 := func() (workload.Tx, error) { return db.Begin(0) }
+	if err := store.Populate(begin0); err != nil {
+		return workload.Result{}, err
+	}
+	if err := db.Converge(10 * time.Second); err != nil {
+		return workload.Result{}, err
+	}
+
+	begins := make([]workload.BeginFunc, db.Replicas())
+	for i := range begins {
+		i := i
+		begins[i] = func() (workload.Tx, error) { return db.Begin(i) }
+	}
+	return workload.Run(store, begins, workload.RunConfig{
+		ClientsPerReplica: 6,
+		Warmup:            200 * time.Millisecond,
+		Measure:           time.Second,
+		Seed:              1,
+	}), nil
+}

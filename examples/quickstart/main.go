@@ -1,0 +1,55 @@
+// Quickstart: start a 3-replica Tashkent-MW database in-process,
+// commit an update on one replica and read it back from another.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tashkent"
+)
+
+func main() {
+	db, err := tashkent.Start(tashkent.Config{
+		Mode:     tashkent.ModeTashkentMW,
+		Replicas: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// An update transaction on replica 0: executes locally, commits
+	// through certification and the global order.
+	tx, err := db.Begin(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Update("accounts", "alice", map[string][]byte{"balance": []byte("100")}); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("committed alice=100 on replica 0")
+
+	// Writesets propagate to the other replicas.
+	if err := db.Converge(5 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < db.Replicas(); i++ {
+		ro, err := db.Begin(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, ok, err := ro.ReadCol("accounts", "alice", "balance")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ro.Abort()
+		fmt.Printf("replica %d reads alice balance = %s (found=%v)\n", i, v, ok)
+	}
+}

@@ -1,0 +1,411 @@
+package certifier
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tashkent/internal/core"
+	"tashkent/internal/simdisk"
+	"tashkent/internal/transport"
+)
+
+// testGroup is a running certifier group on a local fabric.
+type testGroup struct {
+	fabric  *transport.LocalFabric
+	servers []*Server
+	client  *Client
+}
+
+func newTestGroup(t *testing.T, n int, mutate func(i int, cfg *Config)) *testGroup {
+	t.Helper()
+	g := &testGroup{fabric: transport.NewLocalFabric(0)}
+	for i := 0; i < n; i++ {
+		peers := make(map[int]transport.Client)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[j] = g.fabric.Dial(fmt.Sprintf("cert%d", j))
+			}
+		}
+		cfg := Config{
+			ID: i, Peers: peers,
+			ElectionTimeout: 30 * time.Millisecond,
+			Seed:            int64(i + 1),
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		srv := New(cfg)
+		g.servers = append(g.servers, srv)
+		g.fabric.Serve(fmt.Sprintf("cert%d", i), srv.Handle)
+	}
+	for _, srv := range g.servers {
+		srv.Start()
+	}
+	t.Cleanup(func() {
+		for _, srv := range g.servers {
+			srv.Stop()
+		}
+	})
+	var clients []transport.Client
+	for i := 0; i < n; i++ {
+		clients = append(clients, g.fabric.Dial(fmt.Sprintf("cert%d", i)))
+	}
+	g.client = NewClient(clients, 5*time.Second)
+	g.waitLeader(t)
+	return g
+}
+
+func (g *testGroup) waitLeader(t *testing.T) *Server {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, s := range g.servers {
+			if s.IsLeader() {
+				return s
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no certifier leader")
+	return nil
+}
+
+func wsBytes(keys ...string) []byte {
+	ws := &core.Writeset{}
+	for _, k := range keys {
+		ws.Add(core.WriteOp{Kind: core.OpUpdate, Table: "t", Key: k,
+			Cols: []core.ColUpdate{{Col: "v", Value: []byte(k)}}})
+	}
+	return ws.Encode(nil)
+}
+
+func TestCertifyCommitAndVersions(t *testing.T) {
+	g := newTestGroup(t, 3, nil)
+	for i := 1; i <= 5; i++ {
+		resp, err := g.client.Certify(Request{
+			Origin: 1, StartVersion: uint64(i - 1), ReplicaVersion: uint64(i - 1),
+			WSBytes: wsBytes(fmt.Sprintf("k%d", i)),
+		})
+		if err != nil {
+			t.Fatalf("certify %d: %v", i, err)
+		}
+		if !resp.Committed || resp.CommitVersion != uint64(i) {
+			t.Fatalf("certify %d: committed=%v version=%d", i, resp.Committed, resp.CommitVersion)
+		}
+	}
+}
+
+func TestCertifyConflictAborts(t *testing.T) {
+	g := newTestGroup(t, 3, nil)
+	r1, err := g.client.Certify(Request{Origin: 1, WSBytes: wsBytes("x")})
+	if err != nil || !r1.Committed {
+		t.Fatalf("first: %v %v", r1, err)
+	}
+	// Same start version, same key, different replica: conflict.
+	r2, err := g.client.Certify(Request{Origin: 2, StartVersion: 0, WSBytes: wsBytes("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Committed {
+		t.Error("conflicting writeset committed")
+	}
+	// Starting after the conflict commits cleanly.
+	r3, err := g.client.Certify(Request{Origin: 2, StartVersion: 1, ReplicaVersion: 1, WSBytes: wsBytes("x")})
+	if err != nil || !r3.Committed {
+		t.Fatalf("post-conflict: %v %v", r3, err)
+	}
+}
+
+func TestRemoteWritesetsExcludeOwn(t *testing.T) {
+	g := newTestGroup(t, 3, nil)
+	// Replica 1 commits k1; replica 2 commits k2.
+	if _, err := g.client.Certify(Request{Origin: 1, WSBytes: wsBytes("k1")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.client.Certify(Request{Origin: 2, StartVersion: 1, WSBytes: wsBytes("k2")}); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 1 commits k3 from version 0 replica view: remotes must
+	// include v2 (origin 2) but not v1 (its own).
+	resp, err := g.client.Certify(Request{Origin: 1, StartVersion: 2, ReplicaVersion: 1, WSBytes: wsBytes("k3")})
+	if err != nil || !resp.Committed {
+		t.Fatalf("certify: %v %v", resp, err)
+	}
+	if len(resp.Remote) != 1 || resp.Remote[0].Version != 2 {
+		t.Fatalf("remotes = %+v, want just version 2", resp.Remote)
+	}
+}
+
+func TestPull(t *testing.T) {
+	g := newTestGroup(t, 3, nil)
+	for i := 1; i <= 4; i++ {
+		origin := 1 + i%2
+		if _, err := g.client.Certify(Request{
+			Origin: origin, StartVersion: uint64(i - 1), WSBytes: wsBytes(fmt.Sprintf("k%d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := g.client.Pull(PullRequest{Origin: 3, ReplicaVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Remote) != 3 {
+		t.Fatalf("pull remotes = %d, want 3 (versions 2..4)", len(resp.Remote))
+	}
+	if resp.SystemVersion < 4 {
+		t.Errorf("system version = %d", resp.SystemVersion)
+	}
+}
+
+func TestSafeBackAnnotations(t *testing.T) {
+	g := newTestGroup(t, 1, nil)
+	// v1 writes a, v2 writes b, v3 writes a again (conflicts with v1).
+	for i, k := range []string{"a", "b", "a"} {
+		if _, err := g.client.Certify(Request{
+			Origin: 9, StartVersion: uint64(i), WSBytes: wsBytes(k),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := g.client.Pull(PullRequest{Origin: 5, ReplicaVersion: 0, NeedSafeBack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Remote) != 3 {
+		t.Fatalf("remotes = %d", len(resp.Remote))
+	}
+	// v3 (writes a) conflicts with v1: SafeBack must be 1, forcing the
+	// proxy to serialize it after v1.
+	if resp.Remote[2].SafeBack != 1 {
+		t.Errorf("v3 SafeBack = %d, want 1", resp.Remote[2].SafeBack)
+	}
+	// v2 (writes b) is conflict-free all the way back.
+	if resp.Remote[1].SafeBack != 0 {
+		t.Errorf("v2 SafeBack = %d, want 0", resp.Remote[1].SafeBack)
+	}
+}
+
+func TestAbortInjectionAfterFullCheck(t *testing.T) {
+	g := newTestGroup(t, 1, func(i int, cfg *Config) { cfg.AbortRate = 1.0 })
+	resp, err := g.client.Certify(Request{Origin: 1, WSBytes: wsBytes("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Committed {
+		t.Fatal("100% abort rate still committed")
+	}
+	ld := g.waitLeader(t)
+	st := ld.Stats()
+	if st.InjectedAborts != 1 || st.Aborts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Rate change takes effect.
+	ld.SetAbortRate(0)
+	resp, err = g.client.Certify(Request{Origin: 1, WSBytes: wsBytes("x")})
+	if err != nil || !resp.Committed {
+		t.Fatalf("after rate reset: %v %v", resp, err)
+	}
+}
+
+func TestGroupCommitBatchesWritesets(t *testing.T) {
+	// Many concurrent certifications share leader-disk fsyncs: the
+	// Tashkent-MW mechanism.
+	var disks []*simdisk.Disk
+	g := newTestGroup(t, 3, func(i int, cfg *Config) {
+		d := simdisk.New(simdisk.Profile{FsyncLatency: 4 * time.Millisecond}, int64(i))
+		cfg.Disk = d
+		disks = append(disks, d)
+	})
+	ld := g.waitLeader(t)
+	_ = ld
+	const n = 40
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := g.client.Certify(Request{
+				Origin: 1 + i%4, StartVersion: 0, WSBytes: wsBytes(fmt.Sprintf("k%d", i)),
+			})
+			if err != nil {
+				t.Errorf("certify %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	var best float64
+	for _, d := range disks {
+		if r := d.Stats().GroupRatio(); r > best {
+			best = r
+		}
+	}
+	if best < 2 {
+		t.Errorf("best group ratio %.1f, want >= 2 (batching across requests)", best)
+	}
+}
+
+func TestDisableDurabilitySkipsFsyncs(t *testing.T) {
+	var disk *simdisk.Disk
+	g := newTestGroup(t, 1, func(i int, cfg *Config) {
+		disk = simdisk.New(simdisk.Profile{FsyncLatency: 5 * time.Millisecond}, 3)
+		cfg.Disk = disk
+		cfg.DisableDurability = true
+	})
+	for i := 0; i < 5; i++ {
+		if _, err := g.client.Certify(Request{Origin: 1, StartVersion: uint64(i), WSBytes: wsBytes(fmt.Sprintf("k%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := disk.Stats().Fsyncs; f != 0 {
+		t.Errorf("tashAPInoCERT mode issued %d fsyncs, want 0", f)
+	}
+}
+
+func TestFollowerRedirects(t *testing.T) {
+	g := newTestGroup(t, 3, nil)
+	ld := g.waitLeader(t)
+	// Call a follower directly: must get a NOTLEADER error.
+	var follower int = -1
+	for i, s := range g.servers {
+		if s != ld {
+			follower = i
+			break
+		}
+	}
+	c := g.fabric.Dial(fmt.Sprintf("cert%d", follower))
+	req, _ := gobEncode(Request{Origin: 1, WSBytes: wsBytes("x")})
+	_, err := c.Call(MethodCertify, req)
+	var rerr *transport.RemoteError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, isRedirect := parseNotLeader(rerr.Msg); !isRedirect {
+		t.Errorf("follower reply %q is not a redirect", rerr.Msg)
+	}
+	// The retrying client handles it transparently.
+	resp, err := g.client.Certify(Request{Origin: 1, WSBytes: wsBytes("y")})
+	if err != nil || !resp.Committed {
+		t.Fatalf("client certify: %v %v", resp, err)
+	}
+}
+
+func TestLeaderFailoverPreservesLog(t *testing.T) {
+	g := newTestGroup(t, 3, nil)
+	r1, err := g.client.Certify(Request{Origin: 1, WSBytes: wsBytes("a")})
+	if err != nil || !r1.Committed {
+		t.Fatalf("pre-failover: %v %v", r1, err)
+	}
+	ld := g.waitLeader(t)
+	ld.Stop()
+	// Client fails over; version numbering continues from 1.
+	var r2 Response
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r2, err = g.client.Certify(Request{Origin: 2, StartVersion: 1, WSBytes: wsBytes("b")})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("post-failover certify never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !r2.Committed || r2.CommitVersion != 2 {
+		t.Fatalf("post-failover: %+v", r2)
+	}
+	// The new leader still knows version 1's writeset: a conflicting
+	// request from version 0 must abort.
+	r3, err := g.client.Certify(Request{Origin: 2, StartVersion: 0, WSBytes: wsBytes("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Committed {
+		t.Error("new leader lost conflict state from before failover")
+	}
+}
+
+func TestCertifierRecoveryStateTransfer(t *testing.T) {
+	g := newTestGroup(t, 3, nil)
+	for i := 0; i < 6; i++ {
+		if _, err := g.client.Certify(Request{Origin: 1, StartVersion: uint64(i), WSBytes: wsBytes(fmt.Sprintf("k%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash a non-leader, recover from its WAL image, rejoin, catch up.
+	ld := g.waitLeader(t)
+	var victim int = -1
+	for i, s := range g.servers {
+		if s != ld {
+			victim = i
+			break
+		}
+	}
+	img := g.servers[victim].WALImage()
+	g.servers[victim].Stop()
+
+	peers := make(map[int]transport.Client)
+	for j := range g.servers {
+		if j != victim {
+			peers[j] = g.fabric.Dial(fmt.Sprintf("cert%d", j))
+		}
+	}
+	revived := New(Config{ID: victim, Peers: peers, ElectionTimeout: 30 * time.Millisecond, Seed: 77})
+	if err := revived.RestoreFromImage(img); err != nil {
+		t.Fatal(err)
+	}
+	g.fabric.Serve(fmt.Sprintf("cert%d", victim), revived.Handle)
+	revived.Start()
+	defer revived.Stop()
+
+	if _, err := g.client.Certify(Request{Origin: 1, StartVersion: 6, WSBytes: wsBytes("post")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && revived.Node().CommitIndex() < 7 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := revived.Node().CommitIndex(); got < 7 {
+		t.Errorf("revived certifier commit index = %d, want >= 7", got)
+	}
+}
+
+func TestEntryDataRoundTrip(t *testing.T) {
+	ws := &core.Writeset{Ops: []core.WriteOp{{Kind: core.OpInsert, Table: "a", Key: "b",
+		Cols: []core.ColUpdate{{Col: "c", Value: []byte("d")}}}}}
+	data := encodeEntryData(7, 42, ws)
+	origin, start, got, err := decodeEntryData(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origin != 7 || start != 42 || !got.Intersects(ws) {
+		t.Errorf("decoded origin=%d start=%d ws=%v", origin, start, got)
+	}
+	if _, _, _, err := decodeEntryData(data[:5]); err == nil {
+		t.Error("short entry accepted")
+	}
+}
+
+func TestParseNotLeader(t *testing.T) {
+	if h, ok := parseNotLeader("transport: remote error: NOTLEADER 2"); !ok || h != 2 {
+		t.Errorf("parse = %d %v", h, ok)
+	}
+	if _, ok := parseNotLeader("some other error"); ok {
+		t.Error("non-redirect parsed as redirect")
+	}
+	if h, ok := parseNotLeader("NOTLEADER -1"); !ok || h != -1 {
+		t.Errorf("unknown-hint parse = %d %v", h, ok)
+	}
+}
+
+func TestCertifyEmptyWritesetRejected(t *testing.T) {
+	g := newTestGroup(t, 1, nil)
+	_, err := g.client.Certify(Request{Origin: 1, WSBytes: (&core.Writeset{}).Encode(nil)})
+	if err == nil {
+		t.Error("empty writeset certification accepted")
+	}
+}

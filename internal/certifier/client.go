@@ -1,0 +1,106 @@
+package certifier
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"tashkent/internal/transport"
+)
+
+// ErrNoCertifier reports that no certifier node accepted the request
+// within the retry budget (a majority is down, §7: update transactions
+// cannot be processed).
+var ErrNoCertifier = errors.New("certifier: no certifier available")
+
+// Client is the proxy side of the certification protocol: it tracks
+// the current leader across the certifier group and fails over on
+// redirects and node crashes.
+type Client struct {
+	mu      sync.Mutex
+	nodes   []transport.Client // indexed by certifier id
+	leader  int
+	timeout time.Duration
+}
+
+// NewClient builds a client over per-node transports (indexed by
+// certifier id). timeout bounds how long one logical request keeps
+// retrying before giving up (0 = 10 s).
+func NewClient(nodes []transport.Client, timeout time.Duration) *Client {
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{nodes: nodes, timeout: timeout}
+}
+
+// Certify runs one certification request against the group leader.
+func (c *Client) Certify(req Request) (Response, error) {
+	var resp Response
+	err := c.call(MethodCertify, req, &resp)
+	return resp, err
+}
+
+// Pull fetches missing remote writesets (staleness bounding).
+func (c *Client) Pull(req PullRequest) (PullResponse, error) {
+	var resp PullResponse
+	err := c.call(MethodPull, req, &resp)
+	return resp, err
+}
+
+func (c *Client) call(method string, req, resp interface{}) error {
+	payload, err := gobEncode(req)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(c.timeout)
+	c.mu.Lock()
+	target := c.leader
+	c.mu.Unlock()
+	var lastErr error
+	backoff := time.Millisecond
+	for time.Now().Before(deadline) {
+		if target < 0 || target >= len(c.nodes) {
+			target = 0
+		}
+		respB, err := c.nodes[target].Call(method, payload)
+		if err == nil {
+			c.mu.Lock()
+			c.leader = target
+			c.mu.Unlock()
+			return gobDecode(respB, resp)
+		}
+		lastErr = err
+		var rerr *transport.RemoteError
+		switch {
+		case errors.As(err, &rerr):
+			if hint, isRedirect := parseNotLeader(rerr.Msg); isRedirect {
+				if hint >= 0 && hint < len(c.nodes) && hint != target {
+					target = hint
+				} else {
+					target = (target + 1) % len(c.nodes)
+				}
+			} else if strings.Contains(rerr.Msg, "paxos:") {
+				// Transient replication failure (leadership churn
+				// mid-proposal): retrying is safe — a duplicated
+				// certification only produces an extra log entry with
+				// the same absolute-valued writeset, which replicas
+				// apply idempotently.
+				target = (target + 1) % len(c.nodes)
+			} else {
+				// Application error from the leader: surface it.
+				return err
+			}
+		case errors.Is(err, transport.ErrUnavailable):
+			target = (target + 1) % len(c.nodes)
+		default:
+			target = (target + 1) % len(c.nodes)
+		}
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("%w: %v", ErrNoCertifier, lastErr)
+}

@@ -1,0 +1,160 @@
+// Package certifier implements the certification service of the
+// replicated system (paper §4.2 and §6.1): it receives writesets from
+// replica proxies, performs writeset intersection against the recent
+// global log, assigns the global commit order, records committed
+// writesets in a persistent replicated log, and ships back the remote
+// writesets each replica has not seen yet.
+//
+// The certifier state is replicated over internal/paxos (leader + N-1
+// backups, paper §7.3); the paxos log index *is* the global version,
+// and the leader's log disk is where Tashkent-MW's durability lives —
+// its single writer groups every outstanding writeset into one fsync
+// ("the certifier ... is very efficient at batching all outstanding
+// writesets to disk via a single fsync call").
+package certifier
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"strings"
+
+	"tashkent/internal/core"
+)
+
+// Method names on the transport.
+const (
+	MethodCertify = "cert.certify"
+	MethodPull    = "cert.pull"
+)
+
+// Request is one certification request: the writeset and start version
+// of a committing update transaction (paper §6.1), plus the replica's
+// current version so the certifier knows which remote writesets to
+// ship back, and the Tashkent-API flag asking for conflict-free-back
+// ("safe back") information on those remote writesets (§5.2.1).
+type Request struct {
+	Origin         int
+	StartVersion   uint64
+	ReplicaVersion uint64
+	WSBytes        []byte
+	NeedSafeBack   bool
+}
+
+// MustWriteset decodes the request's writeset. It panics on a decode
+// failure, which is impossible for a request the caller encoded
+// itself.
+func (r *Request) MustWriteset() *core.Writeset {
+	ws, _, err := core.DecodeWriteset(r.WSBytes)
+	if err != nil {
+		panic(fmt.Sprintf("certifier: undecodable own writeset: %v", err))
+	}
+	return ws
+}
+
+// RemoteWS is one remote writeset shipped to a replica.
+type RemoteWS struct {
+	Version uint64
+	WSBytes []byte
+	// SafeBack is the version down to which this writeset is known to
+	// be conflict-free; if SafeBack <= the replica's version the proxy
+	// may apply it concurrently with its predecessors, otherwise an
+	// artificial conflict forces serialization (§5.2.1). Populated
+	// only when the request set NeedSafeBack.
+	SafeBack uint64
+}
+
+// Response carries the certification outputs of paper §6.1: the remote
+// writesets, the decision, and the commit version.
+type Response struct {
+	Committed     bool
+	CommitVersion uint64
+	Remote        []RemoteWS
+	SystemVersion uint64 // committed system version at response time
+	// ReplicaSeq is a dense per-replica sequence number assigned in
+	// certifier processing order. The proxy applies responses in
+	// ReplicaSeq order, which guarantees it observes the global commit
+	// order even when transport reorders concurrent responses.
+	ReplicaSeq uint64
+}
+
+// PullRequest proactively fetches remote writesets (the staleness
+// bound of §6.2: an idle replica asks for updates).
+type PullRequest struct {
+	Origin         int
+	ReplicaVersion uint64
+	NeedSafeBack   bool
+	// IncludeOwn disables the own-writeset filter. A recovering
+	// replica needs its own transactions back too — it lost them in
+	// the crash and the certifier log is their durable home (§7.2).
+	IncludeOwn bool
+}
+
+// PullResponse returns the requested remote writesets.
+type PullResponse struct {
+	Remote        []RemoteWS
+	SystemVersion uint64
+	// ReplicaSeq orders pull responses into the same per-replica
+	// application sequence as certification responses.
+	ReplicaSeq uint64
+}
+
+// notLeaderPrefix marks redirect errors so clients fail over.
+const notLeaderPrefix = "NOTLEADER"
+
+// notLeaderError formats a redirect carrying the leader hint.
+func notLeaderError(hint int) error {
+	return fmt.Errorf("%s %d", notLeaderPrefix, hint)
+}
+
+// parseNotLeader extracts a leader hint from an error string, with ok
+// reporting whether the error is a redirect at all.
+func parseNotLeader(msg string) (hint int, ok bool) {
+	if !strings.Contains(msg, notLeaderPrefix) {
+		return -1, false
+	}
+	idx := strings.Index(msg, notLeaderPrefix)
+	rest := strings.TrimSpace(msg[idx+len(notLeaderPrefix):])
+	var h int
+	if _, err := fmt.Sscanf(rest, "%d", &h); err != nil {
+		return -1, true
+	}
+	return h, true
+}
+
+// Log-entry payload: the data stored in each paxos log entry.
+//
+//	uint32 origin | uint64 startVersion | writeset
+//
+// startVersion is retained so an engine rebuilt from the log keeps the
+// certified-back memos.
+
+func encodeEntryData(origin int, start uint64, ws *core.Writeset) []byte {
+	buf := make([]byte, 0, 12+ws.Size())
+	buf = binary.BigEndian.AppendUint32(buf, uint32(origin))
+	buf = binary.BigEndian.AppendUint64(buf, start)
+	return ws.Encode(buf)
+}
+
+func decodeEntryData(data []byte) (origin int, start uint64, ws *core.Writeset, err error) {
+	if len(data) < 12 {
+		return 0, 0, nil, fmt.Errorf("certifier: short log entry (%d bytes)", len(data))
+	}
+	origin = int(binary.BigEndian.Uint32(data[0:4]))
+	start = binary.BigEndian.Uint64(data[4:12])
+	ws, _, err = core.DecodeWriteset(data[12:])
+	return origin, start, ws, err
+}
+
+func gobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(b []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

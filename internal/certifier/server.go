@@ -1,0 +1,345 @@
+package certifier
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"tashkent/internal/core"
+	"tashkent/internal/paxos"
+	"tashkent/internal/simdisk"
+	"tashkent/internal/transport"
+	"tashkent/internal/wal"
+)
+
+// Stats is a snapshot of certifier activity.
+type Stats struct {
+	Requests       int64
+	Commits        int64
+	Aborts         int64
+	InjectedAborts int64
+	Pulls          int64
+	RemoteShipped  int64 // remote writesets shipped to replicas
+	CertifyBackOps int64 // extended certification checks performed
+}
+
+// Config parameterizes one certifier node.
+type Config struct {
+	// ID is this certifier's identity within the group.
+	ID int
+	// Peers maps other certifier ids to clients (for paxos traffic).
+	Peers map[int]transport.Client
+	// Disk backs the persistent certification log. nil = instant.
+	Disk *simdisk.Disk
+	// DisableDurability runs certification without disk writes — the
+	// paper's tashAPInoCERT ablation (§9.2: "the certifier performs
+	// certification as usual, but it does not write information to
+	// disk").
+	DisableDurability bool
+	// AbortRate injects random aborts at the given rate in [0,1),
+	// applied *after* the full certification check so all certifier
+	// work is still done — the Fig 14 methodology.
+	AbortRate float64
+	// ElectionTimeout/Seed tune the underlying replication group.
+	ElectionTimeout time.Duration
+	Seed            int64
+}
+
+// Server is one certifier node: a paxos group member plus the
+// certification engine. Any node accepts RPCs; only the current leader
+// certifies (followers redirect).
+type Server struct {
+	cfg  Config
+	node *paxos.Node
+	disk *simdisk.Disk
+
+	mu         sync.Mutex // guards engine + basisTerm + rng + stats
+	engine     *core.Engine
+	basisTerm  uint64 // term the engine was last rebuilt for
+	basisValid bool
+	replicaSeq map[int]uint64 // per-origin response sequence numbers
+	rng        *rand.Rand
+	stats      Stats
+}
+
+// New creates a certifier node. Call Start to join the group.
+func New(cfg Config) *Server {
+	if cfg.Disk == nil {
+		cfg.Disk = simdisk.New(simdisk.Instant(), int64(cfg.ID)+100)
+	}
+	mode := wal.SyncCommits
+	if cfg.DisableDurability {
+		mode = wal.NoSync
+	}
+	s := &Server{
+		cfg:    cfg,
+		disk:   cfg.Disk,
+		engine: core.NewEngine(),
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),
+	}
+	s.node = paxos.NewNode(paxos.Config{
+		ID:              cfg.ID,
+		Peers:           cfg.Peers,
+		Disk:            cfg.Disk,
+		WALMode:         mode,
+		ElectionTimeout: cfg.ElectionTimeout,
+		Seed:            cfg.Seed,
+	})
+	return s
+}
+
+// RestoreFromImage rebuilds the node's replicated log from a WAL crash
+// image before Start (certifier recovery, §7.3).
+func (s *Server) RestoreFromImage(img []byte) error { return s.node.RestoreFromImage(img) }
+
+// Start joins the replication group.
+func (s *Server) Start() { s.node.Start() }
+
+// Stop halts the node.
+func (s *Server) Stop() { s.node.Stop() }
+
+// WALImage returns the crash-surviving persistent log image.
+func (s *Server) WALImage() []byte { return s.node.WALImage() }
+
+// Node exposes the underlying replication node (tests, recovery
+// harness).
+func (s *Server) Node() *paxos.Node { return s.node }
+
+// IsLeader reports whether this node currently leads the group.
+func (s *Server) IsLeader() bool {
+	r, _ := s.node.Role()
+	return r == paxos.Leader
+}
+
+// Stats returns a snapshot of activity counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// DiskStats exposes the log channel statistics — the source of the
+// writesets-per-fsync figure the paper reports.
+func (s *Server) DiskStats() simdisk.Stats { return s.disk.Stats() }
+
+// SetAbortRate changes the injected abort rate at runtime (Fig 14
+// sweeps).
+func (s *Server) SetAbortRate(r float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.AbortRate = r
+}
+
+// Handle is the transport handler for this node: it serves both the
+// certification API and the group's replication traffic.
+func (s *Server) Handle(method string, req []byte) ([]byte, error) {
+	switch {
+	case strings.HasPrefix(method, "paxos."):
+		return s.node.HandleRPC(method, req)
+	case method == MethodCertify:
+		var r Request
+		if err := gobDecode(req, &r); err != nil {
+			return nil, err
+		}
+		resp, err := s.certify(r)
+		if err != nil {
+			return nil, err
+		}
+		return gobEncode(resp)
+	case method == MethodPull:
+		var r PullRequest
+		if err := gobDecode(req, &r); err != nil {
+			return nil, err
+		}
+		resp, err := s.pull(r)
+		if err != nil {
+			return nil, err
+		}
+		return gobEncode(resp)
+	default:
+		return nil, fmt.Errorf("certifier: unknown method %q", method)
+	}
+}
+
+// ensureEngineLocked makes the engine reflect this node's current log
+// snapshot, rebuilding after leadership changes. Returns an error if
+// the node is not the leader.
+func (s *Server) ensureEngineLocked() error {
+	term, role, entries := s.node.SnapshotLog()
+	if role != paxos.Leader {
+		return notLeaderError(s.node.LeaderHint())
+	}
+	if s.basisValid && s.basisTerm == term {
+		return nil
+	}
+	eng := core.NewEngine()
+	for _, e := range entries {
+		origin, start, ws, err := decodeEntryData(e.Data)
+		if err != nil {
+			return fmt.Errorf("certifier: rebuilding engine: %w", err)
+		}
+		if err := eng.Append(core.LogEntry{
+			Version: core.Version(e.Index), WS: ws, Origin: origin,
+			CertifiedBack: core.Version(start),
+		}); err != nil {
+			return fmt.Errorf("certifier: rebuilding engine: %w", err)
+		}
+	}
+	s.engine = eng
+	s.basisTerm = term
+	s.basisValid = true
+	// A leadership change starts a fresh response-sequencing epoch;
+	// proxies detect the reset and resynchronize.
+	s.replicaSeq = make(map[int]uint64)
+	return nil
+}
+
+// nextReplicaSeqLocked hands out the dense per-origin sequence number
+// stamped on every response.
+func (s *Server) nextReplicaSeqLocked(origin int) uint64 {
+	if s.replicaSeq == nil {
+		s.replicaSeq = make(map[int]uint64)
+	}
+	s.replicaSeq[origin]++
+	return s.replicaSeq[origin]
+}
+
+// certify implements the §6.1 pseudocode plus replication: test for
+// intersection, append to the replicated log, wait for majority
+// durability, return decision + commit version + remote writesets.
+func (s *Server) certify(req Request) (Response, error) {
+	ws, _, err := core.DecodeWriteset(req.WSBytes)
+	if err != nil {
+		return Response{}, err
+	}
+	if ws.Empty() {
+		return Response{}, errors.New("certifier: empty writeset (read-only transactions commit at the replica)")
+	}
+
+	s.mu.Lock()
+	if err := s.ensureEngineLocked(); err != nil {
+		s.mu.Unlock()
+		return Response{}, err
+	}
+	s.stats.Requests++
+
+	// Full certification check first; injected aborts (Fig 14) happen
+	// after the check so the certifier pays all its usual costs.
+	conflict := s.engine.Conflicts(core.Version(req.StartVersion), ws)
+	injected := false
+	if !conflict && s.cfg.AbortRate > 0 && s.rng.Float64() < s.cfg.AbortRate {
+		injected = true
+	}
+
+	if conflict || injected {
+		s.stats.Aborts++
+		if injected {
+			s.stats.InjectedAborts++
+		}
+		resp := Response{Committed: false, ReplicaSeq: s.nextReplicaSeqLocked(req.Origin)}
+		s.fillRemotesLocked(&resp, req.Origin, req.ReplicaVersion, s.committedCap(), req.NeedSafeBack)
+		s.mu.Unlock()
+		return resp, nil
+	}
+
+	// Commit path: reserve the next version by proposing to the
+	// replicated log, guarded so the engine and the log cannot skew.
+	version := uint64(s.engine.SystemVersion()) + 1
+	data := encodeEntryData(req.Origin, req.StartVersion, ws)
+	idx, term, err := s.node.ProposeAt(version-1, data)
+	if err != nil {
+		// Log changed or leadership lost: force a rebuild next time.
+		s.basisValid = false
+		s.mu.Unlock()
+		return Response{}, fmt.Errorf("certifier: propose: %w", err)
+	}
+	if idx != version {
+		s.basisValid = false
+		s.mu.Unlock()
+		return Response{}, fmt.Errorf("certifier: proposed index %d, engine expected %d", idx, version)
+	}
+	if err := s.engine.Append(core.LogEntry{
+		Version: core.Version(version), WS: ws, Origin: req.Origin,
+		CertifiedBack: core.Version(req.StartVersion),
+	}); err != nil {
+		s.basisValid = false
+		s.mu.Unlock()
+		return Response{}, err
+	}
+	s.stats.Commits++
+	resp := Response{Committed: true, CommitVersion: version, ReplicaSeq: s.nextReplicaSeqLocked(req.Origin)}
+	s.fillRemotesLocked(&resp, req.Origin, req.ReplicaVersion, version, req.NeedSafeBack)
+	s.mu.Unlock()
+
+	// Wait for majority durability before declaring the commit — the
+	// group-commit batching across concurrent requests happens inside
+	// the log's writer thread.
+	if err := s.node.WaitCommitted(idx, term); err != nil {
+		return Response{}, fmt.Errorf("certifier: replication: %w", err)
+	}
+	resp.SystemVersion = s.node.CommitIndex()
+	return resp, nil
+}
+
+// noOriginFilter disables own-writeset filtering in fillRemotesLocked.
+const noOriginFilter = int(^uint32(0)>>1) - 7
+
+// committedCap bounds what leaves the certifier to majority-durable
+// versions: uncommitted in-flight entries must never reach a replica.
+func (s *Server) committedCap() uint64 {
+	return s.node.CommitIndex()
+}
+
+// fillRemotesLocked collects the writesets in (after, upTo] that did
+// not originate at the requesting replica, optionally annotated with
+// certify-back information.
+func (s *Server) fillRemotesLocked(resp *Response, origin int, after, upTo uint64, needSafeBack bool) {
+	entries, err := s.engine.EntriesSince(core.Version(after), core.Version(upTo))
+	if err != nil {
+		// Horizon truncated below the replica's version; the replica
+		// must do a full resync. Ship nothing.
+		return
+	}
+	for _, e := range entries {
+		if e.Origin == origin {
+			continue
+		}
+		r := RemoteWS{Version: uint64(e.Version), WSBytes: e.WS.Encode(nil)}
+		if needSafeBack {
+			back, err := s.engine.CertifyBack(e.Version, core.Version(after))
+			if err == nil {
+				r.SafeBack = uint64(back)
+			} else {
+				r.SafeBack = uint64(e.Version) // force serialization on error
+			}
+			s.stats.CertifyBackOps++
+		}
+		resp.Remote = append(resp.Remote, r)
+		s.stats.RemoteShipped++
+	}
+}
+
+// pull serves the staleness-bounding fetch: all committed remote
+// writesets the replica has not seen.
+func (s *Server) pull(req PullRequest) (PullResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureEngineLocked(); err != nil {
+		return PullResponse{}, err
+	}
+	s.stats.Pulls++
+	var r Response
+	upTo := s.committedCap()
+	origin := req.Origin
+	if req.IncludeOwn {
+		origin = noOriginFilter
+	}
+	s.fillRemotesLocked(&r, origin, req.ReplicaVersion, upTo, req.NeedSafeBack)
+	return PullResponse{
+		Remote: r.Remote, SystemVersion: upTo,
+		ReplicaSeq: s.nextReplicaSeqLocked(req.Origin),
+	}, nil
+}

@@ -1,0 +1,291 @@
+// Package cluster assembles the full replicated system of the paper's
+// Figure 2: N database replicas (each with its transparent proxy) and
+// a certifier group (leader + backups) connected by a message fabric —
+// all in one process, which is how the benchmark harness runs 1–15
+// replica sweeps, or over TCP daemons via cmd/tashd and cmd/certd.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tashkent/internal/certifier"
+	"tashkent/internal/proxy"
+	"tashkent/internal/replica"
+	"tashkent/internal/simdisk"
+	"tashkent/internal/transport"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Mode selects the system under test: Base, TashkentMW or
+	// TashkentAPI.
+	Mode proxy.Mode
+	// Replicas is the number of database replicas (1..N).
+	Replicas int
+	// Certifiers is the certifier group size (default 3: a leader and
+	// two backups, as in the paper).
+	Certifiers int
+	// DisableCertDurability turns off certifier disk writes — the
+	// tashAPInoCERT configuration of §9.2.
+	DisableCertDurability bool
+	// IOProfile is the physical disk model shared by all nodes.
+	IOProfile simdisk.Profile
+	// DedicatedIO puts database files on ramdisk so the disk serves
+	// only logging (the paper's dedicated-IO experiments).
+	DedicatedIO bool
+	// NetDelay is the one-way LAN latency injected per message.
+	NetDelay time.Duration
+	// AbortRate injects certification aborts (Fig 14).
+	AbortRate float64
+	// Storage and middleware tuning, applied to every replica.
+	PageMissEvery      int
+	CheckpointEvery    int
+	LockTimeout        time.Duration
+	OrderTimeout       time.Duration
+	LocalCertification bool
+	EagerPreCert       bool
+	StalenessBound     time.Duration
+	// Seed makes disk jitter and elections deterministic.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.Certifiers == 0 {
+		cfg.Certifiers = 3
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return cfg
+}
+
+// Cluster is a running replicated system.
+type Cluster struct {
+	cfg      Config
+	fabric   *transport.LocalFabric
+	certs    []*certifier.Server
+	certUp   []bool
+	replicas []*replica.Replica
+}
+
+// New builds and starts a cluster, waiting for a certifier leader.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mode < proxy.Base || cfg.Mode > proxy.TashkentAPI {
+		return nil, fmt.Errorf("cluster: invalid mode %d", cfg.Mode)
+	}
+	c := &Cluster{cfg: cfg, fabric: transport.NewLocalFabric(cfg.NetDelay)}
+
+	// Certifier group.
+	for i := 0; i < cfg.Certifiers; i++ {
+		peers := make(map[int]transport.Client)
+		for j := 0; j < cfg.Certifiers; j++ {
+			if j != i {
+				peers[j] = c.fabric.Dial(certName(j))
+			}
+		}
+		srv := certifier.New(certifier.Config{
+			ID:                i,
+			Peers:             peers,
+			Disk:              simdisk.New(cfg.IOProfile, cfg.Seed+int64(i)*7919),
+			DisableDurability: cfg.DisableCertDurability,
+			AbortRate:         cfg.AbortRate,
+			ElectionTimeout:   200 * time.Millisecond,
+			Seed:              cfg.Seed + int64(i),
+		})
+		c.fabric.Serve(certName(i), srv.Handle)
+		c.certs = append(c.certs, srv)
+		c.certUp = append(c.certUp, true)
+	}
+	for _, srv := range c.certs {
+		srv.Start()
+	}
+	if err := c.waitCertLeader(5 * time.Second); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	// Replicas.
+	for i := 0; i < cfg.Replicas; i++ {
+		r := replica.Open(replica.Config{
+			ID:   i + 1,
+			Mode: cfg.Mode,
+			IO: replica.IOConfig{
+				Profile:   cfg.IOProfile,
+				Dedicated: cfg.DedicatedIO,
+				Seed:      cfg.Seed + int64(i)*104729,
+			},
+			Cert:               c.newCertClient(),
+			PageMissEvery:      cfg.PageMissEvery,
+			CheckpointEvery:    cfg.CheckpointEvery,
+			LockTimeout:        cfg.LockTimeout,
+			OrderTimeout:       cfg.OrderTimeout,
+			LocalCertification: cfg.LocalCertification,
+			EagerPreCert:       cfg.EagerPreCert,
+			StalenessBound:     cfg.StalenessBound,
+		})
+		c.replicas = append(c.replicas, r)
+	}
+	return c, nil
+}
+
+func certName(i int) string { return fmt.Sprintf("certifier-%d", i) }
+
+// newCertClient builds a failover client over the whole group.
+func (c *Cluster) newCertClient() *certifier.Client {
+	clients := make([]transport.Client, len(c.certs))
+	for i := range c.certs {
+		clients[i] = c.fabric.Dial(certName(i))
+	}
+	return certifier.NewClient(clients, 10*time.Second)
+}
+
+func (c *Cluster) waitCertLeader(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for i, s := range c.certs {
+			if c.certUp[i] && s.IsLeader() {
+				return nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return errors.New("cluster: no certifier leader elected")
+}
+
+// Mode returns the configured system variant.
+func (c *Cluster) Mode() proxy.Mode { return c.cfg.Mode }
+
+// Replicas returns the replica count.
+func (c *Cluster) Replicas() int { return len(c.replicas) }
+
+// Replica returns replica i (0-based).
+func (c *Cluster) Replica(i int) *replica.Replica { return c.replicas[i] }
+
+// Begin opens a client transaction on replica i.
+func (c *Cluster) Begin(i int) (*proxy.Tx, error) { return c.replicas[i].Begin() }
+
+// CertLeader returns the current certifier leader (nil if none).
+func (c *Cluster) CertLeader() *certifier.Server {
+	for i, s := range c.certs {
+		if c.certUp[i] && s.IsLeader() {
+			return s
+		}
+	}
+	return nil
+}
+
+// Certifier returns certifier node i.
+func (c *Cluster) Certifier(i int) *certifier.Server { return c.certs[i] }
+
+// CrashReplica kills replica i (recoverable with RecoverReplica).
+func (c *Cluster) CrashReplica(i int) { c.replicas[i].Crash() }
+
+// RecoverReplica runs the mode's recovery procedure on replica i.
+func (c *Cluster) RecoverReplica(i int) (replica.RecoveryReport, error) {
+	return c.replicas[i].Recover()
+}
+
+// CrashCertifier stops certifier node i and detaches it from the
+// fabric, returning its surviving log image for later recovery.
+func (c *Cluster) CrashCertifier(i int) []byte {
+	img := c.certs[i].WALImage()
+	c.certs[i].Stop()
+	c.certUp[i] = false
+	return img
+}
+
+// RecoverCertifier restarts certifier node i from a crash image; it
+// rejoins the group and catches up from the leader.
+func (c *Cluster) RecoverCertifier(i int, img []byte) error {
+	peers := make(map[int]transport.Client)
+	for j := range c.certs {
+		if j != i {
+			peers[j] = c.fabric.Dial(certName(j))
+		}
+	}
+	srv := certifier.New(certifier.Config{
+		ID:                i,
+		Peers:             peers,
+		Disk:              simdisk.New(c.cfg.IOProfile, c.cfg.Seed+int64(i)*7919+1),
+		DisableDurability: c.cfg.DisableCertDurability,
+		AbortRate:         c.cfg.AbortRate,
+		ElectionTimeout:   200 * time.Millisecond,
+		Seed:              c.cfg.Seed + int64(i) + 1000,
+	})
+	if err := srv.RestoreFromImage(img); err != nil {
+		return err
+	}
+	c.fabric.Serve(certName(i), srv.Handle)
+	srv.Start()
+	c.certs[i] = srv
+	c.certUp[i] = true
+	return nil
+}
+
+// SetAbortRate updates the injected abort rate on every certifier.
+func (c *Cluster) SetAbortRate(r float64) {
+	for i, s := range c.certs {
+		if c.certUp[i] {
+			s.SetAbortRate(r)
+		}
+	}
+}
+
+// ConvergeAll pulls every replica up to the certifier's committed
+// version and waits for the stores to announce it — used between a
+// measurement and a state comparison.
+func (c *Cluster) ConvergeAll(timeout time.Duration) error {
+	leader := c.CertLeader()
+	if leader == nil {
+		return errors.New("cluster: no leader")
+	}
+	target := leader.Node().CommitIndex()
+	for _, r := range c.replicas {
+		if err := r.Proxy().PullOnce(); err != nil {
+			return err
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, r := range c.replicas {
+			if r.Store().AnnouncedVersion() < target {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: convergence to version %d timed out", target)
+}
+
+// Fingerprints returns each replica's state fingerprint.
+func (c *Cluster) Fingerprints() []uint32 {
+	out := make([]uint32, len(c.replicas))
+	for i, r := range c.replicas {
+		out[i] = r.Store().Fingerprint()
+	}
+	return out
+}
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	for _, r := range c.replicas {
+		r.Close()
+	}
+	for i, s := range c.certs {
+		if c.certUp[i] {
+			s.Stop()
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tashkent/internal/proxy"
+	"tashkent/internal/simdisk"
+)
+
+func newTestCluster(t *testing.T, mode proxy.Mode, replicas int, mutate func(*Config)) *Cluster {
+	t.Helper()
+	cfg := Config{
+		Mode:               mode,
+		Replicas:           replicas,
+		Certifiers:         3,
+		IOProfile:          simdisk.Instant(),
+		LocalCertification: true,
+		EagerPreCert:       true,
+		LockTimeout:        time.Second,
+		OrderTimeout:       2 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func clusterCommit(t *testing.T, c *Cluster, rep int, key, val string) error {
+	t.Helper()
+	tx, err := c.Begin(rep)
+	if err != nil {
+		return err
+	}
+	if err := tx.Update("t", key, map[string][]byte{"v": []byte(val)}); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	for _, mode := range []proxy.Mode{proxy.Base, proxy.TashkentMW, proxy.TashkentAPI} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			c := newTestCluster(t, mode, 3, nil)
+			for i := 0; i < 6; i++ {
+				rep := i % 3
+				if err := clusterCommit(t, c, rep, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+					t.Fatalf("commit %d on replica %d: %v", i, rep, err)
+				}
+			}
+			if err := c.ConvergeAll(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			fps := c.Fingerprints()
+			for i := 1; i < len(fps); i++ {
+				if fps[i] != fps[0] {
+					t.Fatalf("replica %d diverged: fingerprints %v", i, fps)
+				}
+			}
+			// All six values visible everywhere.
+			for rep := 0; rep < 3; rep++ {
+				tx, _ := c.Begin(rep)
+				for i := 0; i < 6; i++ {
+					v, ok, err := tx.ReadCol("t", fmt.Sprintf("k%d", i), "v")
+					if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+						t.Errorf("replica %d k%d = %q %v %v", rep, i, v, ok, err)
+					}
+				}
+				tx.Abort()
+			}
+		})
+	}
+}
+
+func TestClusterInvalidMode(t *testing.T) {
+	if _, err := New(Config{Mode: 0, Replicas: 1, IOProfile: simdisk.Instant()}); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+func TestReplicaCrashRecoveryBase(t *testing.T) {
+	c := newTestCluster(t, proxy.Base, 2, nil)
+	for i := 0; i < 5; i++ {
+		if err := clusterCommit(t, c, 0, fmt.Sprintf("k%d", i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashReplica(0)
+	if _, err := c.Begin(0); !errors.Is(err, ErrReplicaCrashed(err)) && err == nil {
+		t.Error("Begin on crashed replica succeeded")
+	}
+	// The survivor keeps the system available.
+	if err := clusterCommit(t, c, 1, "during-outage", "y"); err != nil {
+		t.Fatalf("commit during outage: %v", err)
+	}
+	rep, err := c.RecoverReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UsedDump {
+		t.Error("Base recovery used a dump")
+	}
+	if rep.WALRecords == 0 {
+		t.Error("Base recovery replayed no WAL records")
+	}
+	if err := c.ConvergeAll(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fps := c.Fingerprints()
+	if fps[0] != fps[1] {
+		t.Error("recovered replica diverged")
+	}
+	// And it can process new transactions.
+	if err := clusterCommit(t, c, 0, "post-recovery", "z"); err != nil {
+		t.Fatalf("post-recovery commit: %v", err)
+	}
+}
+
+// ErrReplicaCrashed adapts the error check above (Begin returns the
+// replica package's error; we only need non-nil).
+func ErrReplicaCrashed(err error) error { return err }
+
+func TestReplicaCrashRecoveryMWUsesDump(t *testing.T) {
+	c := newTestCluster(t, proxy.TashkentMW, 2, nil)
+	for i := 0; i < 5; i++ {
+		if err := clusterCommit(t, c, 0, fmt.Sprintf("k%d", i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Take the periodic dump, then more commits after it.
+	if _, err := c.Replica(0).DumpNow(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 8; i++ {
+		if err := clusterCommit(t, c, 0, fmt.Sprintf("k%d", i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashReplica(0)
+	rep, err := c.RecoverReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.UsedDump || rep.DumpBytes == 0 {
+		t.Errorf("MW recovery did not use the dump: %+v", rep)
+	}
+	if rep.RecoveredVersion != 5 {
+		t.Errorf("recovered version %d, want 5 (the dump point)", rep.RecoveredVersion)
+	}
+	if rep.WritesetsApplied < 3 {
+		t.Errorf("resync applied %d writesets, want >= 3 (post-dump commits)", rep.WritesetsApplied)
+	}
+	if err := c.ConvergeAll(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fps := c.Fingerprints()
+	if fps[0] != fps[1] {
+		t.Error("MW-recovered replica diverged")
+	}
+}
+
+func TestReplicaCrashRecoveryMWNoDump(t *testing.T) {
+	// Without any dump, MW recovery rebuilds entirely from the
+	// certifier log.
+	c := newTestCluster(t, proxy.TashkentMW, 2, nil)
+	for i := 0; i < 4; i++ {
+		if err := clusterCommit(t, c, 0, fmt.Sprintf("k%d", i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashReplica(0)
+	rep, err := c.RecoverReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WritesetsApplied < 4 {
+		t.Errorf("resync applied %d writesets, want >= 4", rep.WritesetsApplied)
+	}
+	if err := c.ConvergeAll(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fps := c.Fingerprints(); fps[0] != fps[1] {
+		t.Error("diverged after dump-less MW recovery")
+	}
+}
+
+func TestCertifierCrashRecovery(t *testing.T) {
+	c := newTestCluster(t, proxy.TashkentMW, 1, nil)
+	for i := 0; i < 4; i++ {
+		if err := clusterCommit(t, c, 0, fmt.Sprintf("k%d", i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash a certifier follower, keep committing, then recover it.
+	leader := c.CertLeader()
+	victim := -1
+	for i := range c.certs {
+		if c.certs[i] != leader {
+			victim = i
+			break
+		}
+	}
+	img := c.CrashCertifier(victim)
+	for i := 4; i < 8; i++ {
+		if err := clusterCommit(t, c, 0, fmt.Sprintf("k%d", i), "x"); err != nil {
+			t.Fatalf("commit with certifier down: %v", err)
+		}
+	}
+	if err := c.RecoverCertifier(victim, img); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && c.Certifier(victim).Node().CommitIndex() < 8 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Certifier(victim).Node().CommitIndex(); got < 8 {
+		t.Errorf("recovered certifier at commit %d, want >= 8", got)
+	}
+}
+
+func TestCertifierLeaderKillSystemSurvives(t *testing.T) {
+	c := newTestCluster(t, proxy.TashkentMW, 1, nil)
+	if err := clusterCommit(t, c, 0, "before", "x"); err != nil {
+		t.Fatal(err)
+	}
+	leader := c.CertLeader()
+	for i := range c.certs {
+		if c.certs[i] == leader {
+			c.CrashCertifier(i)
+			break
+		}
+	}
+	// A new leader is elected and commits continue (client retries
+	// internally via the failover client).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := clusterCommit(t, c, 0, "after", "y")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("system never recovered from leader kill: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestAbortRateInjection(t *testing.T) {
+	c := newTestCluster(t, proxy.TashkentMW, 1, func(cfg *Config) { cfg.AbortRate = 1.0 })
+	err := clusterCommit(t, c, 0, "k", "v")
+	if err == nil {
+		t.Fatal("100% abort rate let a commit through")
+	}
+	c.SetAbortRate(0)
+	if err := clusterCommit(t, c, 0, "k", "v"); err != nil {
+		t.Fatalf("after clearing abort rate: %v", err)
+	}
+}
+
+func TestConcurrentMultiReplicaLoad(t *testing.T) {
+	for _, mode := range []proxy.Mode{proxy.Base, proxy.TashkentMW, proxy.TashkentAPI} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			c := newTestCluster(t, mode, 4, nil)
+			var wg sync.WaitGroup
+			for rep := 0; rep < 4; rep++ {
+				rep := rep
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 25; i++ {
+						key := fmt.Sprintf("r%d-%d", rep, i)
+						if err := clusterCommit(t, c, rep, key, "v"); err != nil {
+							t.Errorf("replica %d commit %d: %v", rep, i, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if err := c.ConvergeAll(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			// Quiesce async chunk appliers before fingerprinting.
+			time.Sleep(50 * time.Millisecond)
+			fps := c.Fingerprints()
+			for i := 1; i < len(fps); i++ {
+				if fps[i] != fps[0] {
+					t.Fatalf("replica %d diverged under %v", i, mode)
+				}
+			}
+			leader := c.CertLeader()
+			if got := leader.Node().CommitIndex(); got != 100 {
+				t.Errorf("certifier committed %d versions, want 100", got)
+			}
+		})
+	}
+}

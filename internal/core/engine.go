@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// LogEntry is one committed update transaction in the certifier's
+// global order: the writeset together with the version its commit
+// created. CertifiedBack records how far back the writeset is known to
+// be conflict-free; it is maintained for the Tashkent-API extended
+// certification checks (paper §5.2.1) so repeated checks are avoided.
+type LogEntry struct {
+	Version Version
+	WS      *Writeset
+	// Origin identifies the replica whose transaction produced this
+	// writeset. The certifier uses it to exclude a replica's own
+	// writesets when shipping "remote" writesets back to it.
+	Origin int
+	// CertifiedBack is the oldest version v such that WS is known to
+	// have no write-write conflict with any writeset committed in
+	// (v, Version). At normal certification time it equals the
+	// transaction's start version.
+	CertifiedBack Version
+}
+
+// Decision is the outcome of a certification request.
+type Decision uint8
+
+const (
+	// Commit means the writeset had no write-write conflict and was
+	// appended to the global order.
+	Commit Decision = iota + 1
+	// Abort means a conflict was found (or the certifier injected an
+	// abort, see the Fig 14 experiment).
+	Abort
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Commit:
+		return "commit"
+	case Abort:
+		return "abort"
+	default:
+		return fmt.Sprintf("Decision(%d)", uint8(d))
+	}
+}
+
+// ErrTruncated reports that a requested log range has been garbage
+// collected below the engine's truncation horizon.
+var ErrTruncated = errors.New("core: log range truncated")
+
+// Engine is the pure certification engine: it maintains the global log
+// of committed writesets, the per-item last-writer index used for fast
+// intersection tests, and the global system version. It is not safe
+// for concurrent use; the certifier server serializes access.
+type Engine struct {
+	// log[i] holds the entry for version trunc+1+i.
+	log []LogEntry
+	// trunc is the highest garbage-collected version: entries with
+	// Version <= trunc are gone. Initially 0 (nothing collected; the
+	// log conceptually starts at version 1).
+	trunc Version
+	// system is the global system version: the version of the most
+	// recently committed update transaction.
+	system Version
+	// writers maps an item to the ascending list of versions that
+	// wrote it. It serves both the normal certification test (is the
+	// last writer newer than my snapshot?) and the extended
+	// certify-back range queries.
+	writers map[ItemID][]Version
+}
+
+// NewEngine returns an empty engine at system version 0.
+func NewEngine() *Engine {
+	return &Engine{writers: make(map[ItemID][]Version)}
+}
+
+// SystemVersion returns the version of the latest committed update
+// transaction.
+func (e *Engine) SystemVersion() Version { return e.system }
+
+// TruncatedBelow returns the highest garbage-collected version; log
+// entries are retained for versions strictly greater than this.
+func (e *Engine) TruncatedBelow() Version { return e.trunc }
+
+// Len returns the number of retained log entries.
+func (e *Engine) Len() int { return len(e.log) }
+
+// Certify performs the paper's certification test for a transaction
+// that started at version start with writeset ws: ws is intersected
+// against every writeset committed at a version greater than start. On
+// success the writeset is appended to the log at a fresh version and
+// (newVersion, Commit) is returned; on conflict (0, Abort).
+//
+// An empty writeset always commits but consumes no version; callers
+// short-circuit read-only transactions before reaching the certifier,
+// so Certify treats it as a programming error.
+func (e *Engine) Certify(start Version, ws *Writeset, origin int) (Version, Decision) {
+	if ws.Empty() {
+		panic("core: Certify called with empty writeset (read-only transactions commit locally)")
+	}
+	if e.conflicts(ws, start, e.system) {
+		return 0, Abort
+	}
+	e.system++
+	v := e.system
+	e.append(LogEntry{Version: v, WS: ws, CertifiedBack: start, Origin: origin})
+	return v, Commit
+}
+
+// Conflicts reports (without mutating the engine) whether ws
+// intersects any writeset committed after start — the certification
+// test alone. Callers that must interleave the test with an external
+// commit point (the certifier proposes the entry to its replicated log
+// between testing and appending) use Conflicts + Append instead of
+// Certify.
+func (e *Engine) Conflicts(start Version, ws *Writeset) bool {
+	return e.conflicts(ws, start, e.system)
+}
+
+// Append installs an already-certified entry at the next version. The
+// entry's version must be exactly SystemVersion()+1.
+func (e *Engine) Append(entry LogEntry) error {
+	if entry.Version != e.system+1 {
+		return fmt.Errorf("core: append version %d, want %d", entry.Version, e.system+1)
+	}
+	if entry.WS.Empty() {
+		return fmt.Errorf("core: append of empty writeset at version %d", entry.Version)
+	}
+	e.system = entry.Version
+	e.append(entry)
+	return nil
+}
+
+// conflicts reports whether ws intersects any writeset committed in the
+// half-open version interval (lo, hi].
+func (e *Engine) conflicts(ws *Writeset, lo, hi Version) bool {
+	if lo >= hi {
+		return false
+	}
+	for i := range ws.Ops {
+		vs := e.writers[ws.Ops[i].Item()]
+		if len(vs) == 0 {
+			continue
+		}
+		// Find the first writer version > lo; conflict if it is <= hi.
+		idx := sort.Search(len(vs), func(k int) bool { return vs[k] > lo })
+		if idx < len(vs) && vs[idx] <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) append(entry LogEntry) {
+	e.log = append(e.log, entry)
+	for _, id := range entry.WS.Items() {
+		e.writers[id] = append(e.writers[id], entry.Version)
+	}
+}
+
+// entryIndex converts a version to an index into e.log, or -1 if the
+// version is truncated or in the future.
+func (e *Engine) entryIndex(v Version) int {
+	if v <= e.trunc || v > e.system {
+		return -1
+	}
+	return int(v - e.trunc - 1)
+}
+
+// Entry returns the log entry committed at version v.
+func (e *Engine) Entry(v Version) (LogEntry, error) {
+	i := e.entryIndex(v)
+	if i < 0 {
+		return LogEntry{}, fmt.Errorf("%w: version %d (horizon %d, system %d)", ErrTruncated, v, e.trunc, e.system)
+	}
+	return e.log[i], nil
+}
+
+// EntriesSince returns the log entries with versions in (after, upTo].
+// These are exactly the "remote writesets the replica has not received
+// yet" that the certifier ships back with a certification response.
+func (e *Engine) EntriesSince(after, upTo Version) ([]LogEntry, error) {
+	if upTo > e.system {
+		upTo = e.system
+	}
+	if after >= upTo {
+		return nil, nil
+	}
+	if after < e.trunc {
+		return nil, fmt.Errorf("%w: need entries after %d but horizon is %d", ErrTruncated, after, e.trunc)
+	}
+	lo := int(after - e.trunc)
+	hi := int(upTo - e.trunc)
+	out := make([]LogEntry, hi-lo)
+	copy(out, e.log[lo:hi])
+	return out, nil
+}
+
+// CertifyBack extends the certification of the entry committed at
+// version v so that it is known conflict-free back to version back
+// (paper §5.2.1: the proxy asks "has this remote writeset been tested
+// for conflicts back to my replica_version?"). It returns the version
+// down to which the entry is now certified conflict-free: if that is
+// <= back the caller may apply the writeset concurrently; if it is > back
+// an artificial conflict exists and the caller must serialize behind
+// the conflicting earlier writeset.
+//
+// Results are memoized in the entry's CertifiedBack field so repeated
+// requests from different replicas do not repeat intersection work.
+func (e *Engine) CertifyBack(v, back Version) (Version, error) {
+	i := e.entryIndex(v)
+	if i < 0 {
+		return 0, fmt.Errorf("%w: certify-back for version %d (horizon %d, system %d)", ErrTruncated, v, e.trunc, e.system)
+	}
+	entry := &e.log[i]
+	if entry.CertifiedBack <= back {
+		return entry.CertifiedBack, nil
+	}
+	if back < e.trunc {
+		back = e.trunc
+	}
+	// Scan writer versions of each touched item for a writer in
+	// (back, entry.CertifiedBack]; the newest such writer bounds how
+	// far back the entry can be certified.
+	bound := back
+	for _, id := range entry.WS.Items() {
+		vs := e.writers[id]
+		idx := sort.Search(len(vs), func(k int) bool { return vs[k] > back })
+		for ; idx < len(vs) && vs[idx] <= entry.CertifiedBack; idx++ {
+			if vs[idx] != v && vs[idx] > bound {
+				bound = vs[idx]
+			}
+		}
+	}
+	entry.CertifiedBack = bound
+	return bound, nil
+}
+
+// Truncate garbage-collects log entries with Version <= below. It is
+// called once every replica has acknowledged receipt of those versions.
+// Truncating beyond the system version is an error.
+func (e *Engine) Truncate(below Version) error {
+	if below > e.system {
+		return fmt.Errorf("core: truncate(%d) beyond system version %d", below, e.system)
+	}
+	if below <= e.trunc {
+		return nil
+	}
+	cut := int(below - e.trunc)
+	dropped := e.log[:cut]
+	e.log = append([]LogEntry(nil), e.log[cut:]...)
+	e.trunc = below
+	for _, entry := range dropped {
+		for _, id := range entry.WS.Items() {
+			vs := e.writers[id]
+			idx := sort.Search(len(vs), func(k int) bool { return vs[k] > below })
+			if idx == 0 {
+				continue
+			}
+			if idx == len(vs) {
+				delete(e.writers, id)
+			} else {
+				e.writers[id] = append([]Version(nil), vs[idx:]...)
+			}
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds the engine from a log prefix, used during certifier
+// recovery: entries must be dense starting at trunc+1.
+func (e *Engine) Restore(trunc Version, entries []LogEntry) error {
+	e.log = nil
+	e.trunc = trunc
+	e.system = trunc
+	e.writers = make(map[ItemID][]Version)
+	for i := range entries {
+		want := trunc + Version(i) + 1
+		if entries[i].Version != want {
+			return fmt.Errorf("core: restore: entry %d has version %d, want %d", i, entries[i].Version, want)
+		}
+		e.append(entries[i])
+		e.system = want
+	}
+	return nil
+}
+
+// Snapshot returns a copy of the retained log, for state transfer to a
+// recovering certifier peer.
+func (e *Engine) Snapshot() (trunc Version, entries []LogEntry) {
+	out := make([]LogEntry, len(e.log))
+	copy(out, e.log)
+	return e.trunc, out
+}

@@ -1,0 +1,659 @@
+// Package mvstore is a multi-version storage engine providing snapshot
+// isolation, written from scratch as the paper's "off-the-shelf
+// database" substitute (the paper used PostgreSQL 8.0.3).
+//
+// It reproduces every database behaviour the Tashkent experiments
+// depend on:
+//
+//   - MVCC snapshots: a transaction reads the database version that
+//     existed when it began and is unaffected by concurrent commits.
+//   - Eager write locks with first-committer-wins: the first writer of
+//     a row proceeds; competitors block; if the holder commits the
+//     competitors abort with ErrWriteConflict (PostgreSQL's "could not
+//     serialize access due to concurrent update").
+//   - Deadlock detection on the waits-for graph, plus lock-wait
+//     timeouts for cross-layer deadlocks the graph cannot see (a local
+//     lock holder blocked behind the commit-order semaphore, paper
+//     §8.2).
+//   - Trigger-style writeset capture with a per-write hook so the
+//     middleware can observe partial writesets during execution (eager
+//     pre-certification, paper §8.2) and forcibly kill a conflicting
+//     local transaction.
+//   - A write-ahead log with group commit; synchronous commits can be
+//     enabled (Base, Tashkent-API) or disabled (Tashkent-MW).
+//   - The extended commit API: CommitOrdered(from, to) writes the
+//     commit record immediately (groupable with concurrent commits)
+//     but announces the commit only when the database version reaches
+//     `from` — the 20-line semaphore change of paper §8.3.
+//   - DUMP/RESTORE for middleware-driven recovery, WAL replay
+//     recovery, and crash simulation with or without physical data
+//     integrity (paper §7.1 cases 1 and 2).
+package mvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tashkent/internal/core"
+	"tashkent/internal/simdisk"
+	"tashkent/internal/wal"
+)
+
+// Errors returned by transaction operations.
+var (
+	// ErrWriteConflict is the SI first-committer-wins abort: another
+	// transaction holding the write lock committed first.
+	ErrWriteConflict = errors.New("mvstore: write-write conflict (concurrent update committed)")
+	// ErrDeadlock reports a waits-for cycle; the requesting transaction
+	// is chosen as the victim.
+	ErrDeadlock = errors.New("mvstore: deadlock detected")
+	// ErrLockTimeout reports a lock wait exceeding Config.LockTimeout,
+	// the escape hatch for deadlocks spanning the commit-order
+	// semaphore which the waits-for graph cannot observe.
+	ErrLockTimeout = errors.New("mvstore: lock wait timeout")
+	// ErrOrderTimeout reports a CommitOrdered wait that never became
+	// eligible — the misuse case of the extended API (e.g. COMMIT 9
+	// without COMMIT 1-8, paper §5.2).
+	ErrOrderTimeout = errors.New("mvstore: commit-order wait timeout")
+	// ErrTxDone reports use of a finished transaction handle.
+	ErrTxDone = errors.New("mvstore: transaction already finished")
+	// ErrTxKilled reports that the middleware forcibly aborted this
+	// transaction (eager pre-certification victim).
+	ErrTxKilled = errors.New("mvstore: transaction killed")
+	// ErrCrashed reports an operation against a crashed store.
+	ErrCrashed = errors.New("mvstore: database has crashed")
+	// ErrCommitRejected models the database unilaterally aborting a
+	// COMMIT (paper §8.1 "soft recovery": out of disk space, garbage
+	// collection, backend crash). Injected by tests via FailNextCommit.
+	ErrCommitRejected = errors.New("mvstore: commit rejected by database")
+)
+
+// Config parameterizes a store instance.
+type Config struct {
+	// DataDisk services buffer-pool misses, checkpoint write-back and
+	// dump IO. nil means an instant (ram) channel.
+	DataDisk *simdisk.Disk
+	// LogDisk services WAL fsyncs. nil means an instant channel.
+	LogDisk *simdisk.Disk
+	// WALMode selects synchronous (SyncCommits) or asynchronous
+	// (NoSync) commit records.
+	WALMode wal.Mode
+	// KeepIntegrity, meaningful with WALMode == NoSync, selects the
+	// paper's §7.1 case 2: page writes still obey write-ahead rules so
+	// a crash loses recent commits but never corrupts pages. Without
+	// it (case 1), a crash with unsynced activity corrupts the data
+	// files and recovery must come from a dump.
+	KeepIntegrity bool
+	// PageMissEvery makes every Nth row read cost one data-page IO,
+	// modelling buffer-pool misses (0 disables; AllUpdates and TPC-B
+	// run essentially from memory, TPC-W does not).
+	PageMissEvery int
+	// CheckpointEvery flushes one dirty-page write-back to the data
+	// disk for every N committed row writes (0 disables). This is the
+	// "writing back dirty database pages" stream that congests a
+	// shared IO channel.
+	CheckpointEvery int
+	// LockTimeout bounds write-lock waits (0 = a generous default).
+	LockTimeout time.Duration
+	// OrderTimeout bounds CommitOrdered announce waits (0 = default).
+	OrderTimeout time.Duration
+}
+
+const (
+	defaultLockTimeout  = 10 * time.Second
+	defaultOrderTimeout = 10 * time.Second
+)
+
+// rowVersion is one MVCC version of a row. seq is the store-internal
+// commit sequence that created it.
+type rowVersion struct {
+	seq     uint64
+	deleted bool
+	cols    map[string][]byte
+}
+
+// table holds the version chains of its rows, newest last.
+type table struct {
+	rows map[string][]rowVersion
+}
+
+// lockWaiter is one transaction blocked on a write lock.
+type lockWaiter struct {
+	txID uint64
+	ch   chan error // buffered(1): receives nil (retry) or a fatal error
+}
+
+// lockState is an acquired row write lock.
+type lockState struct {
+	holder  uint64
+	waiters []lockWaiter
+}
+
+// orderWaiter is a CommitOrdered call blocked on the announce
+// semaphore.
+type orderWaiter struct {
+	from uint64
+	ch   chan struct{} // closed when announced >= from
+}
+
+// Stats is a snapshot of store activity counters.
+type Stats struct {
+	Commits        int64
+	ReadOnlyCommits int64
+	Aborts         int64
+	Deadlocks      int64
+	WriteConflicts int64
+	Kills          int64
+	RowReads       int64
+	RowWrites      int64
+}
+
+// Store is one database instance. All methods are safe for concurrent
+// use by many client sessions.
+type Store struct {
+	cfg Config
+
+	mu        sync.Mutex
+	tables    map[string]*table
+	mvccSeq   uint64 // internal commit sequence: stamps row versions & snapshots
+	announced uint64 // commit-order semaphore value (global version space)
+	nextTxID  uint64
+	active    map[uint64]*Tx
+	locks     map[core.ItemID]*lockState
+	waitsFor  map[uint64]uint64 // blocked tx → lock holder it waits on
+	orderWait []orderWaiter
+	crashed   bool
+	crashCh   chan struct{} // closed on crash, unblocks waiters
+	stats     Stats
+	readTick  int   // page-miss modelling counter
+	dirtyTick int64 // checkpoint modelling counter
+	failNextCommit int32 // fault injection: reject next N commits
+
+	log      *wal.WAL
+	dataDisk *simdisk.Disk
+	logDisk  *simdisk.Disk
+}
+
+// Open creates an empty store.
+func Open(cfg Config) *Store {
+	if cfg.DataDisk == nil {
+		cfg.DataDisk = simdisk.New(simdisk.Instant(), 0)
+	}
+	if cfg.LogDisk == nil {
+		cfg.LogDisk = simdisk.New(simdisk.Instant(), 0)
+	}
+	if cfg.WALMode == 0 {
+		cfg.WALMode = wal.SyncCommits
+	}
+	if cfg.LockTimeout == 0 {
+		cfg.LockTimeout = defaultLockTimeout
+	}
+	if cfg.OrderTimeout == 0 {
+		cfg.OrderTimeout = defaultOrderTimeout
+	}
+	return &Store{
+		cfg:      cfg,
+		tables:   make(map[string]*table),
+		active:   make(map[uint64]*Tx),
+		locks:    make(map[core.ItemID]*lockState),
+		waitsFor: make(map[uint64]uint64),
+		crashCh:  make(chan struct{}),
+		log:      wal.New(cfg.LogDisk, cfg.WALMode),
+		dataDisk: cfg.DataDisk,
+		logDisk:  cfg.LogDisk,
+	}
+}
+
+// Stats returns a snapshot of activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// AnnouncedVersion returns the current value of the commit-order
+// semaphore (the highest globally ordered version announced by
+// CommitOrdered, or whatever SetAnnounced established at recovery).
+func (s *Store) AnnouncedVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.announced
+}
+
+// SetAnnounced initializes the commit-order semaphore, used when a
+// recovered replica rejoins at a nonzero global version.
+func (s *Store) SetAnnounced(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.announced {
+		s.announced = v
+		s.wakeOrderWaitersLocked()
+	}
+}
+
+// InternalSeq returns the store's internal MVCC commit sequence.
+func (s *Store) InternalSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mvccSeq
+}
+
+// ActiveTxns returns the number of in-flight transactions.
+func (s *Store) ActiveTxns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}
+
+// FailNextCommit arms fault injection: the next n update commits are
+// rejected with ErrCommitRejected after their WAL append, exercising
+// the middleware's soft-recovery path.
+func (s *Store) FailNextCommit(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failNextCommit = int32(n)
+}
+
+// Begin starts a transaction against the latest committed snapshot.
+func (s *Store) Begin() (*Tx, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, ErrCrashed
+	}
+	s.nextTxID++
+	tx := &Tx{
+		store:    s,
+		id:       s.nextTxID,
+		snapshot: s.mvccSeq,
+		writes:   make(map[core.ItemID]*pendingWrite),
+	}
+	s.active[tx.id] = tx
+	return tx, nil
+}
+
+// minActiveSnapshotLocked returns the oldest snapshot any active
+// transaction reads from; row versions at or below it, except the
+// newest such version, are unreachable and can be garbage collected
+// (PostgreSQL's vacuum, done inline).
+func (s *Store) minActiveSnapshotLocked() uint64 {
+	min := s.mvccSeq
+	for _, tx := range s.active {
+		if tx.snapshot < min {
+			min = tx.snapshot
+		}
+	}
+	return min
+}
+
+// prune drops row versions no active snapshot can see: everything
+// older than the newest version with seq <= minSnap. A row whose only
+// remaining version is an old tombstone is removed entirely.
+func (t *table) prune(key string, minSnap uint64) {
+	versions := t.rows[key]
+	if len(versions) <= 1 {
+		if len(versions) == 1 && versions[0].deleted && versions[0].seq <= minSnap {
+			delete(t.rows, key)
+		}
+		return
+	}
+	idx := -1
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i].seq <= minSnap {
+			idx = i
+			break
+		}
+	}
+	if idx <= 0 {
+		return
+	}
+	kept := versions[idx:]
+	if len(kept) == 1 && kept[0].deleted && kept[0].seq <= minSnap {
+		delete(t.rows, key)
+		return
+	}
+	// Copy down in place so the backing array can shrink over time.
+	copy(versions, kept)
+	t.rows[key] = versions[:len(kept)]
+}
+
+// visibleLocked returns the newest row version with seq <= snapshot.
+func (t *table) visible(key string, snapshot uint64) *rowVersion {
+	versions := t.rows[key]
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i].seq <= snapshot {
+			if versions[i].deleted {
+				return nil
+			}
+			return &versions[i]
+		}
+	}
+	return nil
+}
+
+// acquireLock obtains the write lock on item for tx, blocking behind a
+// current holder. It returns ErrWriteConflict if the holder commits,
+// ErrDeadlock on a waits-for cycle, ErrLockTimeout after
+// Config.LockTimeout, and ErrTxKilled/ErrCrashed as appropriate.
+// Called without s.mu held.
+func (s *Store) acquireLock(tx *Tx, item core.ItemID) error {
+	deadline := time.Now().Add(s.cfg.LockTimeout)
+	for {
+		s.mu.Lock()
+		if s.crashed {
+			s.mu.Unlock()
+			return ErrCrashed
+		}
+		if tx.killed {
+			s.mu.Unlock()
+			return ErrTxKilled
+		}
+		ls := s.locks[item]
+		if ls == nil {
+			s.locks[item] = &lockState{holder: tx.id}
+			tx.held = append(tx.held, item)
+			s.mu.Unlock()
+			return nil
+		}
+		if ls.holder == tx.id {
+			s.mu.Unlock()
+			return nil
+		}
+		// Would block: deadlock check on the waits-for graph.
+		if s.wouldDeadlockLocked(tx.id, ls.holder) {
+			s.stats.Deadlocks++
+			s.mu.Unlock()
+			return ErrDeadlock
+		}
+		w := lockWaiter{txID: tx.id, ch: make(chan error, 1)}
+		ls.waiters = append(ls.waiters, w)
+		s.waitsFor[tx.id] = ls.holder
+		crashCh := s.crashCh
+		s.mu.Unlock()
+
+		var err error
+		var timedOut bool
+		select {
+		case err = <-w.ch:
+		case <-time.After(time.Until(deadline)):
+			timedOut = true
+		case <-crashCh:
+			err = ErrCrashed
+		}
+
+		s.mu.Lock()
+		delete(s.waitsFor, tx.id)
+		if timedOut {
+			// Remove ourselves from the waiter queue unless a signal
+			// raced in (then honor the signal instead).
+			select {
+			case err = <-w.ch:
+			default:
+				s.removeWaiterLocked(item, tx.id)
+				s.mu.Unlock()
+				return ErrLockTimeout
+			}
+		}
+		s.mu.Unlock()
+		if err != nil {
+			if errors.Is(err, ErrWriteConflict) {
+				// counted at signal time
+			}
+			return err
+		}
+		// Holder aborted; retry acquisition.
+	}
+}
+
+// wouldDeadlockLocked reports whether making waiter wait on holder
+// closes a cycle in the waits-for graph.
+func (s *Store) wouldDeadlockLocked(waiter, holder uint64) bool {
+	seen := 0
+	cur := holder
+	for {
+		if cur == waiter {
+			return true
+		}
+		next, ok := s.waitsFor[cur]
+		if !ok {
+			return false
+		}
+		cur = next
+		if seen++; seen > len(s.waitsFor)+1 {
+			return false // defensive: graph mutated under us
+		}
+	}
+}
+
+func (s *Store) removeWaiterLocked(item core.ItemID, txID uint64) {
+	ls := s.locks[item]
+	if ls == nil {
+		return
+	}
+	for i := range ls.waiters {
+		if ls.waiters[i].txID == txID {
+			ls.waiters = append(ls.waiters[:i], ls.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseLocksLocked frees all locks held by tx. If committed, waiters
+// receive ErrWriteConflict (first-committer-wins); if aborted, they
+// receive nil and retry.
+func (s *Store) releaseLocksLocked(tx *Tx, committed bool) {
+	for _, item := range tx.held {
+		ls := s.locks[item]
+		if ls == nil || ls.holder != tx.id {
+			continue
+		}
+		for _, w := range ls.waiters {
+			if committed {
+				s.stats.WriteConflicts++
+				w.ch <- ErrWriteConflict
+			} else {
+				w.ch <- nil
+			}
+		}
+		delete(s.locks, item)
+	}
+	tx.held = nil
+}
+
+// finishLocked removes tx from the active set.
+func (s *Store) finishLocked(tx *Tx) {
+	tx.done = true
+	delete(s.active, tx.id)
+	delete(s.waitsFor, tx.id)
+}
+
+// Kill forcibly aborts an active transaction by id: its locks are
+// released, buffered writes discarded, and any subsequent operation on
+// the handle returns ErrTxKilled. This is the mechanism the middleware
+// uses to resolve local-vs-remote writeset conflicts eagerly
+// (paper §8.2: "the proxy aborts the conflicting local update
+// transaction, which allows the remote writeset to be executed").
+func (s *Store) Kill(txID uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, ok := s.active[txID]
+	if !ok {
+		return false
+	}
+	tx.killed = true
+	s.stats.Kills++
+	s.stats.Aborts++
+	s.releaseLocksLocked(tx, false)
+	s.finishLocked(tx)
+	return true
+}
+
+// ConflictingActiveTxns returns the ids of active transactions whose
+// partial writesets intersect ws, excluding excludeTx. This is the
+// "trigger writes partial writesets to a memory-mapped file readable
+// by the proxy" mechanism of paper §8.1.
+func (s *Store) ConflictingActiveTxns(ws *core.Writeset, excludeTx uint64) []uint64 {
+	if ws.Empty() {
+		return nil
+	}
+	items := make(map[core.ItemID]struct{}, len(ws.Ops))
+	for i := range ws.Ops {
+		items[ws.Ops[i].Item()] = struct{}{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []uint64
+	for id, tx := range s.active {
+		if id == excludeTx || tx.killed {
+			continue
+		}
+		for _, held := range tx.held {
+			if _, hit := items[held]; hit {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// WaitAnnounced blocks until the commit-order semaphore reaches at
+// least v (or the timeout elapses, or the store crashes). The proxy
+// uses it to delay an artificially conflicting remote writeset until
+// the writeset it conflicts with has committed (paper §5.2.1).
+func (s *Store) WaitAnnounced(v uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		if s.crashed {
+			s.mu.Unlock()
+			return ErrCrashed
+		}
+		if s.announced >= v {
+			s.mu.Unlock()
+			return nil
+		}
+		w := orderWaiter{from: v, ch: make(chan struct{})}
+		s.orderWait = append(s.orderWait, w)
+		s.mu.Unlock()
+		select {
+		case <-w.ch:
+		case <-time.After(time.Until(deadline)):
+			s.mu.Lock()
+			for i := range s.orderWait {
+				if s.orderWait[i].ch == w.ch {
+					s.orderWait = append(s.orderWait[:i], s.orderWait[i+1:]...)
+					break
+				}
+			}
+			cur := s.announced
+			s.mu.Unlock()
+			if cur >= v {
+				return nil
+			}
+			return fmt.Errorf("%w: waiting for announced version %d, at %d", ErrOrderTimeout, v, cur)
+		}
+	}
+}
+
+// wakeOrderWaitersLocked releases CommitOrdered waiters whose from
+// version has been reached.
+func (s *Store) wakeOrderWaitersLocked() {
+	kept := s.orderWait[:0]
+	for _, w := range s.orderWait {
+		if w.from <= s.announced {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	s.orderWait = kept
+}
+
+// maybePageMiss charges a buffer-pool miss to the data channel for
+// every Config.PageMissEvery-th read. Called without s.mu.
+func (s *Store) maybePageMiss() {
+	n := s.cfg.PageMissEvery
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.readTick++
+	miss := s.readTick%n == 0
+	s.mu.Unlock()
+	if miss {
+		s.dataDisk.PageOps(1)
+	}
+}
+
+// chargeCheckpoint models background dirty-page write-back: one page
+// write per Config.CheckpointEvery committed row writes. The committing
+// session does not wait for it; the page op occupies the shared channel
+// asynchronously, congesting subsequent fsyncs exactly as the paper's
+// shared-IO configuration does.
+func (s *Store) chargeCheckpoint(rowWrites int) {
+	n := s.cfg.CheckpointEvery
+	if n <= 0 || rowWrites == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.dirtyTick += int64(rowWrites)
+	pages := int(s.dirtyTick / int64(n))
+	s.dirtyTick -= int64(pages) * int64(n)
+	s.mu.Unlock()
+	if pages > 0 {
+		go s.dataDisk.PageOps(pages)
+	}
+}
+
+// Crash simulates a machine/process crash: all in-flight transactions
+// die, the volatile WAL suffix is lost, and — in NoSync mode without
+// KeepIntegrity — the data files are marked corrupt (paper §7.1 case
+// 1). It returns the surviving WAL image and the corruption flag. The
+// store is unusable afterwards; recover with RecoverFromWAL or
+// RestoreDump.
+func (s *Store) Crash() (walImage []byte, corrupt bool) {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return s.log.CrashImage(0), s.corruptLocked()
+	}
+	s.crashed = true
+	close(s.crashCh)
+	for _, w := range s.orderWait {
+		close(w.ch)
+	}
+	s.orderWait = nil
+	for id, tx := range s.active {
+		tx.killed = true
+		s.releaseLocksLocked(tx, false)
+		delete(s.active, id)
+	}
+	corrupt = s.corruptLocked()
+	s.mu.Unlock()
+	s.log.Close()
+	return s.log.CrashImage(0), corrupt
+}
+
+func (s *Store) corruptLocked() bool {
+	return s.cfg.WALMode == wal.NoSync && !s.cfg.KeepIntegrity && s.stats.Commits > 0
+}
+
+// Close shuts the store down cleanly (no crash semantics).
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	s.crashed = true
+	close(s.crashCh)
+	for _, w := range s.orderWait {
+		close(w.ch)
+	}
+	s.orderWait = nil
+	s.mu.Unlock()
+	s.log.Close()
+}

@@ -1,0 +1,446 @@
+package mvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"tashkent/internal/core"
+)
+
+// pendingWrite is one buffered row modification of an active
+// transaction.
+type pendingWrite struct {
+	kind    core.OpKind
+	cols    map[string][]byte // full row (insert) or modified cols (update)
+	deleted bool
+}
+
+// WriteHook observes each captured write operation as it happens —
+// the paper's trigger-to-memory-mapped-file channel that exposes
+// partial writesets to the proxy. Returning an error aborts the write
+// (and the proxy then aborts the transaction).
+type WriteHook func(op core.WriteOp) error
+
+// Tx is one transaction handle. A Tx is used by a single session
+// goroutine; the store serializes internally.
+type Tx struct {
+	store    *Store
+	id       uint64
+	snapshot uint64
+	writes   map[core.ItemID]*pendingWrite
+	ws       core.Writeset // capture order preserved
+	held     []core.ItemID
+	hook     WriteHook
+	done     bool
+	killed   bool
+}
+
+// ID returns the transaction identifier (used with Store.Kill).
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Snapshot returns the internal MVCC sequence this transaction reads
+// from.
+func (tx *Tx) Snapshot() uint64 { return tx.snapshot }
+
+// SetWriteHook installs the per-write observer. It must be set before
+// the first write.
+func (tx *Tx) SetWriteHook(h WriteHook) { tx.hook = h }
+
+// Writeset returns the writeset captured so far. The returned value
+// aliases internal state and must not be modified; Clone it to keep.
+func (tx *Tx) Writeset() *core.Writeset { return &tx.ws }
+
+func (tx *Tx) check() error {
+	if tx.killed {
+		return ErrTxKilled
+	}
+	if tx.done {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// Read returns the named columns of a row visible in the transaction's
+// snapshot (its own uncommitted writes win). found is false if the row
+// does not exist in the snapshot.
+func (tx *Tx) Read(tableName, key string) (cols map[string][]byte, found bool, err error) {
+	if err := tx.check(); err != nil {
+		return nil, false, err
+	}
+	tx.store.maybePageMiss()
+	item := core.ItemID{Table: tableName, Key: key}
+
+	s := tx.store
+	s.mu.Lock()
+	s.stats.RowReads++
+	if pw, ok := tx.writes[item]; ok {
+		defer s.mu.Unlock()
+		if pw.deleted {
+			return nil, false, nil
+		}
+		base := map[string][]byte{}
+		if pw.kind == core.OpUpdate {
+			if t := s.tables[tableName]; t != nil {
+				if rv := t.visible(key, tx.snapshot); rv != nil {
+					for c, v := range rv.cols {
+						base[c] = v
+					}
+				}
+			}
+		}
+		for c, v := range pw.cols {
+			base[c] = v
+		}
+		return cloneCols(base), true, nil
+	}
+	t := s.tables[tableName]
+	if t == nil {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	rv := t.visible(key, tx.snapshot)
+	if rv == nil {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	out := cloneCols(rv.cols)
+	s.mu.Unlock()
+	return out, true, nil
+}
+
+// ReadCol is a convenience single-column read.
+func (tx *Tx) ReadCol(tableName, key, col string) ([]byte, bool, error) {
+	cols, found, err := tx.Read(tableName, key)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	v, ok := cols[col]
+	return v, ok, nil
+}
+
+func cloneCols(in map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(in))
+	for c, v := range in {
+		out[c] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// write is the shared path of Insert/Update/Delete: run the hook
+// (eager pre-certification), take the row write lock, buffer the
+// modification, and capture the writeset entry.
+func (tx *Tx) write(op core.WriteOp) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if tx.hook != nil {
+		if err := tx.hook(op); err != nil {
+			return err
+		}
+	}
+	item := op.Item()
+	if err := tx.store.acquireLock(tx, item); err != nil {
+		return err
+	}
+	s := tx.store
+	s.mu.Lock()
+	if tx.killed { // killed while acquiring
+		s.mu.Unlock()
+		return ErrTxKilled
+	}
+	s.stats.RowWrites++
+	pw := tx.writes[item]
+	if pw == nil {
+		pw = &pendingWrite{cols: map[string][]byte{}}
+		tx.writes[item] = pw
+	}
+	switch op.Kind {
+	case core.OpInsert:
+		pw.kind = core.OpInsert
+		pw.deleted = false
+		pw.cols = map[string][]byte{}
+		for _, c := range op.Cols {
+			pw.cols[c.Col] = append([]byte(nil), c.Value...)
+		}
+	case core.OpUpdate:
+		if pw.kind != core.OpInsert {
+			pw.kind = core.OpUpdate
+		}
+		pw.deleted = false
+		for _, c := range op.Cols {
+			pw.cols[c.Col] = append([]byte(nil), c.Value...)
+		}
+	case core.OpDelete:
+		pw.kind = core.OpDelete
+		pw.deleted = true
+		pw.cols = map[string][]byte{}
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("mvstore: invalid op kind %d", op.Kind)
+	}
+	tx.ws.Add(op)
+	s.mu.Unlock()
+	return nil
+}
+
+// Insert writes a full new row (or fully replaces an existing one,
+// like the INSERT the writeset propagation replays).
+func (tx *Tx) Insert(tableName, key string, cols map[string][]byte) error {
+	op := core.WriteOp{Kind: core.OpInsert, Table: tableName, Key: key}
+	for c, v := range cols {
+		op.Cols = append(op.Cols, core.ColUpdate{Col: c, Value: append([]byte(nil), v...)})
+	}
+	return tx.write(op)
+}
+
+// Update modifies the given columns of a row.
+func (tx *Tx) Update(tableName, key string, cols map[string][]byte) error {
+	op := core.WriteOp{Kind: core.OpUpdate, Table: tableName, Key: key}
+	for c, v := range cols {
+		op.Cols = append(op.Cols, core.ColUpdate{Col: c, Value: append([]byte(nil), v...)})
+	}
+	return tx.write(op)
+}
+
+// Delete removes a row.
+func (tx *Tx) Delete(tableName, key string) error {
+	return tx.write(core.WriteOp{Kind: core.OpDelete, Table: tableName, Key: key})
+}
+
+// ApplyWriteset replays a propagated remote writeset through the
+// normal write path (locks, triggers and all — remote writesets can
+// conflict and even deadlock with local transactions exactly as in the
+// paper).
+func (tx *Tx) ApplyWriteset(ws *core.Writeset) error {
+	if ws == nil {
+		return nil
+	}
+	for i := range ws.Ops {
+		if err := tx.write(ws.Ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort rolls the transaction back.
+func (tx *Tx) Abort() error {
+	if tx.killed {
+		return nil // already dead and cleaned up
+	}
+	if tx.done {
+		return ErrTxDone
+	}
+	s := tx.store
+	s.mu.Lock()
+	s.stats.Aborts++
+	s.releaseLocksLocked(tx, false)
+	s.finishLocked(tx)
+	s.mu.Unlock()
+	return nil
+}
+
+// Commit finishes the transaction with standalone-database semantics:
+// read-only transactions finish immediately; update transactions write
+// a commit record (group-committed with concurrent committers) and are
+// announced in whatever order they complete. Equivalent to
+// CommitLabeled with zero labels.
+func (tx *Tx) Commit() error { return tx.CommitLabeled(0, 0) }
+
+// CommitLabeled is Commit with a recovery label attached to the commit
+// record: the transaction covers global versions (from, to]. The
+// middleware proxy uses labels so WAL recovery can report which global
+// versions survived (paper §7.2). Announce order is arrival order —
+// callers (Base/Tashkent-MW proxies) serialize externally.
+func (tx *Tx) CommitLabeled(from, to uint64) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if tx.ws.Empty() {
+		s := tx.store
+		s.mu.Lock()
+		s.stats.ReadOnlyCommits++
+		s.finishLocked(tx)
+		s.mu.Unlock()
+		return nil
+	}
+	rec := encodeCommitRecord(from, to, &tx.ws)
+	if err := tx.store.log.Append(rec); err != nil {
+		return ErrCrashed
+	}
+	return tx.announce(func(s *Store) {
+		if to > s.announced {
+			s.announced = to
+			s.wakeOrderWaitersLocked()
+		}
+	}, nil)
+}
+
+// CommitOrdered finishes an update transaction under the extended API
+// of paper §8.3: the commit covers global versions (from, to]. The
+// commit record is written (and group-committed) immediately, then the
+// commit waits on the order semaphore until the database has announced
+// version from, and announcing it advances the semaphore to to.
+// Concurrent CommitOrdered calls therefore share fsyncs while still
+// becoming visible in the exact global order.
+func (tx *Tx) CommitOrdered(from, to uint64) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if to <= from {
+		return fmt.Errorf("mvstore: CommitOrdered(%d, %d): empty version range", from, to)
+	}
+	if tx.ws.Empty() {
+		return fmt.Errorf("mvstore: CommitOrdered on read-only transaction")
+	}
+	rec := encodeCommitRecord(from, to, &tx.ws)
+	if err := tx.store.log.Append(rec); err != nil {
+		return ErrCrashed
+	}
+
+	s := tx.store
+	deadline := time.Now().Add(s.cfg.OrderTimeout)
+	for {
+		s.mu.Lock()
+		if s.crashed {
+			s.mu.Unlock()
+			return ErrCrashed
+		}
+		if tx.killed {
+			s.mu.Unlock()
+			return ErrTxKilled
+		}
+		if s.announced >= from {
+			break // announce below, still holding s.mu
+		}
+		w := orderWaiter{from: from, ch: make(chan struct{})}
+		s.orderWait = append(s.orderWait, w)
+		s.mu.Unlock()
+		select {
+		case <-w.ch:
+		case <-time.After(time.Until(deadline)):
+			s.mu.Lock()
+			// Remove our waiter entry if still present.
+			for i := range s.orderWait {
+				if s.orderWait[i].ch == w.ch {
+					s.orderWait = append(s.orderWait[:i], s.orderWait[i+1:]...)
+					break
+				}
+			}
+			crashed := s.crashed
+			s.mu.Unlock()
+			if crashed {
+				return ErrCrashed
+			}
+			return fmt.Errorf("%w: waited for version %d, announced stuck at %d",
+				ErrOrderTimeout, from, s.AnnouncedVersion())
+		}
+	}
+	// s.mu held, announced >= from.
+	return tx.announceLocked(func(s *Store) {
+		if to > s.announced {
+			s.announced = to
+			s.wakeOrderWaitersLocked()
+		}
+	}, nil)
+}
+
+// announce applies the transaction's writes at the next internal MVCC
+// sequence and finishes it. extra runs under the lock after
+// application (semaphore bookkeeping).
+func (tx *Tx) announce(extra func(*Store), _ interface{}) error {
+	tx.store.mu.Lock()
+	return tx.announceLocked(extra, nil)
+}
+
+// announceLocked completes the commit with s.mu held; it unlocks.
+func (tx *Tx) announceLocked(extra func(*Store), _ interface{}) error {
+	s := tx.store
+	if s.crashed {
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	if tx.killed {
+		s.mu.Unlock()
+		return ErrTxKilled
+	}
+	if s.failNextCommit > 0 {
+		s.failNextCommit--
+		s.stats.Aborts++
+		s.releaseLocksLocked(tx, false)
+		s.finishLocked(tx)
+		s.mu.Unlock()
+		return ErrCommitRejected
+	}
+	s.mvccSeq++
+	seq := s.mvccSeq
+	minSnap := s.minActiveSnapshotLocked()
+	rowWrites := 0
+	for item, pw := range tx.writes {
+		t := s.tables[item.Table]
+		if t == nil {
+			t = &table{rows: make(map[string][]rowVersion)}
+			s.tables[item.Table] = t
+		}
+		rv := rowVersion{seq: seq, deleted: pw.deleted}
+		if !pw.deleted {
+			base := map[string][]byte{}
+			if pw.kind == core.OpUpdate {
+				if prev := t.visible(item.Key, seq-1); prev != nil {
+					for c, v := range prev.cols {
+						base[c] = v
+					}
+				}
+			}
+			for c, v := range pw.cols {
+				base[c] = v
+			}
+			rv.cols = base
+		}
+		t.rows[item.Key] = append(t.rows[item.Key], rv)
+		t.prune(item.Key, minSnap)
+		rowWrites++
+	}
+	s.stats.Commits++
+	s.releaseLocksLocked(tx, true)
+	s.finishLocked(tx)
+	if extra != nil {
+		extra(s)
+	}
+	s.mu.Unlock()
+	s.chargeCheckpoint(rowWrites)
+	return nil
+}
+
+// Commit record encoding: uint64 from, uint64 to, writeset.
+
+func encodeCommitRecord(from, to uint64, ws *core.Writeset) []byte {
+	buf := make([]byte, 0, 16+ws.Size())
+	buf = binary.BigEndian.AppendUint64(buf, from)
+	buf = binary.BigEndian.AppendUint64(buf, to)
+	return ws.Encode(buf)
+}
+
+// CommitRecord is one decoded WAL commit record.
+type CommitRecord struct {
+	From, To uint64
+	WS       *core.Writeset
+}
+
+// DecodeCommitRecord parses a WAL record payload.
+func DecodeCommitRecord(payload []byte) (CommitRecord, error) {
+	if len(payload) < 16 {
+		return CommitRecord{}, fmt.Errorf("mvstore: short commit record (%d bytes)", len(payload))
+	}
+	rec := CommitRecord{
+		From: binary.BigEndian.Uint64(payload[0:8]),
+		To:   binary.BigEndian.Uint64(payload[8:16]),
+	}
+	ws, _, err := core.DecodeWriteset(payload[16:])
+	if err != nil {
+		return CommitRecord{}, err
+	}
+	rec.WS = ws
+	return rec, nil
+}

@@ -1,0 +1,456 @@
+// Package paxos implements the replicated log used to make the
+// certifier highly available (paper §7.3): "The certifier state is
+// replicated for availability across a small set of nodes using Paxos.
+// The replication algorithm uses a leader elected from the set of
+// certifiers. ... the leader sends the new state to all certifiers
+// including itself. All certifiers write the new state to disk and
+// reply to the leader. When a majority of certifiers reply, the leader
+// declares those transactions as committed."
+//
+// The implementation is Multi-Paxos in its steady-state leader-based
+// formulation (equivalently, the Raft refinement): a ballot-based
+// election chooses a leader; the leader appends entries to all nodes;
+// each node makes the entries durable via its group-committed WAL and
+// acknowledges; the leader commits on majority. Log-index equals the
+// certifier's global version, so entry i of the paxos log is exactly
+// version i of the replication system's commit order.
+//
+// Crash-recovery is supported: a node rebuilds its log from its WAL
+// image and catches up from the current leader via state transfer.
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tashkent/internal/simdisk"
+	"tashkent/internal/transport"
+	"tashkent/internal/wal"
+)
+
+// nowFunc indirects time.Now for tests.
+var nowFunc = time.Now
+
+// Errors surfaced to proposers.
+var (
+	// ErrNotLeader reports a proposal on a non-leader node; the error
+	// text carries the known leader hint.
+	ErrNotLeader = errors.New("paxos: not leader")
+	// ErrDeposed reports that leadership was lost while a proposal was
+	// in flight; the entry may or may not survive.
+	ErrDeposed = errors.New("paxos: leadership lost during proposal")
+	// ErrStopped reports a stopped node.
+	ErrStopped = errors.New("paxos: node stopped")
+)
+
+// Role is a node's current protocol role.
+type Role uint8
+
+// Roles.
+const (
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Entry is one replicated log record.
+type Entry struct {
+	Index uint64 // 1-based; equals the certifier global version
+	Term  uint64
+	Data  []byte
+}
+
+// Config parameterizes a node.
+type Config struct {
+	// ID is this node's identity (unique small integer).
+	ID int
+	// Peers maps every *other* node id to a transport client for it.
+	Peers map[int]transport.Client
+	// Disk backs the node's persistent log.
+	Disk *simdisk.Disk
+	// WALMode is SyncCommits for durable certification (normal) or
+	// NoSync for the paper's tashAPInoCERT ablation, where the
+	// certifier performs certification but skips disk writes.
+	WALMode wal.Mode
+	// Apply is invoked with each committed entry exactly once, in
+	// index order, from a single goroutine.
+	Apply func(e Entry)
+	// ElectionTimeout is the base follower timeout (jittered per
+	// node); HeartbeatInterval the leader's idle append cadence.
+	ElectionTimeout   time.Duration
+	HeartbeatInterval time.Duration
+	// Seed randomizes election jitter deterministically.
+	Seed int64
+}
+
+// Node is one member of the replicated-log group.
+type Node struct {
+	cfg Config
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	role        Role
+	term        uint64
+	votedFor    int
+	leaderHint  int
+	log         []Entry // log[i] has Index i+1
+	commitIndex uint64
+	applied     uint64
+	stableIndex uint64 // highest index covered by our own WAL fsyncs
+	matchIndex  map[int]uint64
+	nextIndex   map[int]uint64
+	inflight    map[int]bool
+	lastHeard   time.Time
+	stopped     bool
+
+	wal  *wal.WAL
+	rng  *rand.Rand
+	wg   sync.WaitGroup
+	stopCh chan struct{}
+}
+
+// NewNode creates a node. Call Start to run its timers.
+func NewNode(cfg Config) *Node {
+	if cfg.Disk == nil {
+		cfg.Disk = simdisk.New(simdisk.Instant(), int64(cfg.ID))
+	}
+	if cfg.WALMode == 0 {
+		cfg.WALMode = wal.SyncCommits
+	}
+	if cfg.ElectionTimeout == 0 {
+		cfg.ElectionTimeout = 150 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = cfg.ElectionTimeout / 3
+	}
+	n := &Node{
+		cfg:        cfg,
+		votedFor:   -1,
+		leaderHint: -1,
+		matchIndex: make(map[int]uint64),
+		wal:        wal.New(cfg.Disk, cfg.WALMode),
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID)<<16)),
+		stopCh:     make(chan struct{}),
+		lastHeard:  time.Now(),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// RestoreFromImage rebuilds the node's log and term metadata from a
+// crash-surviving WAL image. Must be called before Start.
+func (n *Node) RestoreFromImage(image []byte) error {
+	records, err := wal.Scan(image)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, rec := range records {
+		kind, payload := rec[0], rec[1:]
+		switch kind {
+		case recEntry:
+			var e Entry
+			if err := gobDecode(payload, &e); err != nil {
+				return fmt.Errorf("paxos: restore entry: %w", err)
+			}
+			if e.Index == 0 || e.Index > uint64(len(n.log))+1 {
+				return fmt.Errorf("paxos: restore: entry index %d does not extend log of %d", e.Index, len(n.log))
+			}
+			// An entry at index i implicitly truncates everything above.
+			n.log = append(n.log[:e.Index-1], e)
+		case recMeta:
+			var m metaRecord
+			if err := gobDecode(payload, &m); err != nil {
+				return fmt.Errorf("paxos: restore meta: %w", err)
+			}
+			n.term = m.Term
+			n.votedFor = m.VotedFor
+		default:
+			return fmt.Errorf("paxos: restore: unknown record kind %d", kind)
+		}
+	}
+	n.stableIndex = uint64(len(n.log))
+	return nil
+}
+
+// Start launches the election timer. Apply callbacks begin flowing as
+// entries commit.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.timerLoop()
+	go n.applyLoop()
+}
+
+// Stop halts the node (simulating a crash when followed by discarding
+// the instance; use WALImage to recover).
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	close(n.stopCh)
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	n.wg.Wait()
+	n.wal.Close()
+}
+
+// WALImage returns the crash-surviving log image (stable prefix only).
+func (n *Node) WALImage() []byte { return n.wal.CrashImage(0) }
+
+// Role returns the node's current role and term.
+func (n *Node) Role() (Role, uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role, n.term
+}
+
+// LeaderHint returns the last known leader id (-1 if unknown).
+func (n *Node) LeaderHint() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == Leader {
+		return n.cfg.ID
+	}
+	return n.leaderHint
+}
+
+// CommitIndex returns the highest committed index.
+func (n *Node) CommitIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitIndex
+}
+
+// LogLength returns the local log length.
+func (n *Node) LogLength() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return uint64(len(n.log))
+}
+
+// ErrLogChanged reports a ProposeAt whose expected log length no
+// longer matches (the caller's view of the log is stale and must be
+// rebuilt).
+var ErrLogChanged = errors.New("paxos: log changed since snapshot")
+
+// SnapshotLog returns the current term, role and a copy of the whole
+// local log. A leader's log is the authoritative basis for
+// certification state; the certifier rebuilds its engine from this
+// snapshot when it gains leadership.
+func (n *Node) SnapshotLog() (term uint64, role Role, entries []Entry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Entry, len(n.log))
+	copy(out, n.log)
+	return n.term, n.role, out
+}
+
+// ProposeAt is Propose with an optimistic-concurrency guard: it fails
+// with ErrLogChanged unless the log still has exactly expectLen
+// entries, guaranteeing the caller's derived state (certification
+// engine) matches the index being assigned.
+func (n *Node) ProposeAt(expectLen uint64, data []byte) (index, term uint64, err error) {
+	return n.propose(data, true, expectLen)
+}
+
+// Propose appends data as the next log entry. It returns the reserved
+// index and term immediately after the local (volatile) append; the
+// caller completes the proposal with WaitCommitted. Only the leader
+// may propose.
+func (n *Node) Propose(data []byte) (index, term uint64, err error) {
+	return n.propose(data, false, 0)
+}
+
+func (n *Node) propose(data []byte, guarded bool, expectLen uint64) (uint64, uint64, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return 0, 0, ErrStopped
+	}
+	if n.role != Leader {
+		hint := n.leaderHint
+		n.mu.Unlock()
+		return 0, 0, fmt.Errorf("%w (leader hint %d)", ErrNotLeader, hint)
+	}
+	if guarded && uint64(len(n.log)) != expectLen {
+		n.mu.Unlock()
+		return 0, 0, fmt.Errorf("%w: have %d entries, expected %d", ErrLogChanged, len(n.log), expectLen)
+	}
+	e := Entry{Index: uint64(len(n.log)) + 1, Term: n.term, Data: data}
+	n.log = append(n.log, e)
+	n.mu.Unlock()
+
+	// Persist locally (group commit with concurrent proposals) and
+	// replicate. Both proceed in parallel: followers ack after their
+	// own fsync; our own fsync sets stableIndex.
+	go n.persistEntry(e)
+	go n.broadcastAppend()
+	return e.Index, e.Term, nil
+}
+
+func (n *Node) persistEntry(e Entry) {
+	if err := n.appendWAL(recEntry, e); err != nil {
+		return
+	}
+	n.mu.Lock()
+	if e.Index > n.stableIndex && uint64(len(n.log)) >= e.Index &&
+		n.log[e.Index-1].Term == e.Term {
+		n.stableIndex = e.Index
+		n.maybeAdvanceCommitLocked()
+	}
+	n.mu.Unlock()
+}
+
+// WaitCommitted blocks until the entry proposed at (index, term) is
+// committed, or returns ErrDeposed if leadership changed and the entry
+// was (or may have been) replaced.
+func (n *Node) WaitCommitted(index, term uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if n.stopped {
+			return ErrStopped
+		}
+		if uint64(len(n.log)) < index || n.log[index-1].Term != term {
+			return ErrDeposed
+		}
+		if n.commitIndex >= index {
+			return nil
+		}
+		if n.role != Leader {
+			return ErrDeposed
+		}
+		n.cond.Wait()
+	}
+}
+
+// maybeAdvanceCommitLocked applies the majority-ack commit rule: the
+// leader commits the highest index that (a) a majority of nodes —
+// counting itself via stableIndex — hold durably, and (b) belongs to
+// the current term (entries from earlier terms commit transitively
+// once a current-term entry above them commits, the standard safety
+// refinement).
+func (n *Node) maybeAdvanceCommitLocked() {
+	if n.role != Leader {
+		return
+	}
+	best := n.commitIndex
+	for idx := n.commitIndex + 1; idx <= uint64(len(n.log)); idx++ {
+		votes := boolToInt(n.stableIndex >= idx)
+		for _, m := range n.matchIndex {
+			if m >= idx {
+				votes++
+			}
+		}
+		if votes < n.majority() {
+			break
+		}
+		if n.log[idx-1].Term == n.term {
+			best = idx
+		}
+	}
+	if best > n.commitIndex {
+		n.commitIndex = best
+	}
+	n.cond.Broadcast()
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// majority returns the quorum size for the group (peers + self).
+func (n *Node) majority() int { return (len(n.cfg.Peers)+1)/2 + 1 }
+
+// applyLoop delivers committed entries to cfg.Apply in order.
+func (n *Node) applyLoop() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		for n.applied >= n.commitIndex && !n.stopped {
+			n.cond.Wait()
+		}
+		if n.stopped {
+			n.mu.Unlock()
+			return
+		}
+		var batch []Entry
+		for n.applied < n.commitIndex {
+			n.applied++
+			batch = append(batch, n.log[n.applied-1])
+		}
+		n.mu.Unlock()
+		if n.cfg.Apply != nil {
+			for _, e := range batch {
+				n.cfg.Apply(e)
+			}
+		}
+	}
+}
+
+// timerLoop drives elections (followers/candidates) and heartbeats
+// (leaders).
+func (n *Node) timerLoop() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		role := n.role
+		timeout := n.cfg.ElectionTimeout + time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
+		lastHeard := n.lastHeard
+		n.mu.Unlock()
+
+		var wait time.Duration
+		if role == Leader {
+			wait = n.cfg.HeartbeatInterval
+		} else {
+			wait = time.Until(lastHeard.Add(timeout))
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+		}
+		select {
+		case <-n.stopCh:
+			return
+		case <-time.After(wait):
+		}
+
+		n.mu.Lock()
+		switch n.role {
+		case Leader:
+			n.mu.Unlock()
+			n.broadcastAppend()
+		case Follower, Candidate:
+			if time.Since(n.lastHeard) >= timeout {
+				n.startElectionLocked() // unlocks
+			} else {
+				n.mu.Unlock()
+			}
+		default:
+			n.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package paxos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tashkent/internal/simdisk"
+	"tashkent/internal/transport"
+	"tashkent/internal/wal"
+)
+
+// group spins up n nodes on a local fabric.
+type group struct {
+	fabric  *LocalFabricAlias
+	nodes   []*Node
+	servers []transport.Server
+	applyMu sync.Mutex
+	applied map[int][]Entry
+}
+
+// LocalFabricAlias avoids an import cycle in the test helper name.
+type LocalFabricAlias = transport.LocalFabric
+
+func newGroup(t *testing.T, n int, mode wal.Mode) *group {
+	t.Helper()
+	g := &group{
+		fabric:  transport.NewLocalFabric(0),
+		applied: make(map[int][]Entry),
+	}
+	for i := 0; i < n; i++ {
+		peers := make(map[int]transport.Client)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[j] = g.fabric.Dial(fmt.Sprintf("cert%d", j))
+			}
+		}
+		i := i
+		node := NewNode(Config{
+			ID:    i,
+			Peers: peers,
+			Disk:  simdisk.New(simdisk.Instant(), int64(i)),
+			WALMode: mode,
+			Apply: func(e Entry) {
+				g.applyMu.Lock()
+				g.applied[i] = append(g.applied[i], e)
+				g.applyMu.Unlock()
+			},
+			ElectionTimeout: 40 * time.Millisecond,
+			Seed:            int64(i) + 1,
+		})
+		g.nodes = append(g.nodes, node)
+		g.servers = append(g.servers, g.fabric.Serve(fmt.Sprintf("cert%d", i), node.HandleRPC))
+	}
+	for _, node := range g.nodes {
+		node.Start()
+	}
+	t.Cleanup(func() {
+		for _, node := range g.nodes {
+			node.Stop()
+		}
+	})
+	return g
+}
+
+// waitLeader blocks until some node is leader, returning its index.
+func (g *group) waitLeader(t *testing.T) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for i, n := range g.nodes {
+			if r, _ := n.Role(); r == Leader {
+				return i
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no leader elected")
+	return -1
+}
+
+func proposeAndWait(t *testing.T, n *Node, data string) uint64 {
+	t.Helper()
+	idx, term, err := n.Propose([]byte(data))
+	if err != nil {
+		t.Fatalf("Propose(%q): %v", data, err)
+	}
+	if err := n.WaitCommitted(idx, term); err != nil {
+		t.Fatalf("WaitCommitted(%q): %v", data, err)
+	}
+	return idx
+}
+
+func TestSingleNodeCommits(t *testing.T) {
+	g := newGroup(t, 1, wal.SyncCommits)
+	ld := g.waitLeader(t)
+	for i := 0; i < 5; i++ {
+		idx := proposeAndWait(t, g.nodes[ld], fmt.Sprintf("e%d", i))
+		if idx != uint64(i+1) {
+			t.Fatalf("entry %d got index %d", i, idx)
+		}
+	}
+	if g.nodes[ld].CommitIndex() != 5 {
+		t.Errorf("CommitIndex = %d", g.nodes[ld].CommitIndex())
+	}
+}
+
+func TestThreeNodeReplication(t *testing.T) {
+	g := newGroup(t, 3, wal.SyncCommits)
+	ld := g.waitLeader(t)
+	for i := 0; i < 10; i++ {
+		proposeAndWait(t, g.nodes[ld], fmt.Sprintf("e%d", i))
+	}
+	// All nodes converge on the committed log.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, n := range g.nodes {
+			if n.CommitIndex() < 10 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for i, n := range g.nodes {
+		if n.CommitIndex() < 10 {
+			t.Errorf("node %d commit = %d, want >= 10", i, n.CommitIndex())
+		}
+		if n.LogLength() < 10 {
+			t.Errorf("node %d log = %d", i, n.LogLength())
+		}
+	}
+	// Apply callbacks saw entries in order on every node.
+	g.applyMu.Lock()
+	defer g.applyMu.Unlock()
+	for i := range g.nodes {
+		got := g.applied[i]
+		if len(got) < 10 {
+			t.Errorf("node %d applied %d entries", i, len(got))
+			continue
+		}
+		for j, e := range got[:10] {
+			if e.Index != uint64(j+1) || string(e.Data) != fmt.Sprintf("e%d", j) {
+				t.Errorf("node %d applied[%d] = %+v", i, j, e)
+			}
+		}
+	}
+}
+
+func TestProposeOnFollowerFails(t *testing.T) {
+	g := newGroup(t, 3, wal.SyncCommits)
+	ld := g.waitLeader(t)
+	follower := (ld + 1) % 3
+	if _, _, err := g.nodes[follower].Propose([]byte("x")); !errors.Is(err, ErrNotLeader) {
+		t.Errorf("Propose on follower: %v, want ErrNotLeader", err)
+	}
+}
+
+func TestProposeAtGuard(t *testing.T) {
+	g := newGroup(t, 1, wal.SyncCommits)
+	ld := g.waitLeader(t)
+	n := g.nodes[ld]
+	idx, term, err := n.ProposeAt(0, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WaitCommitted(idx, term); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.ProposeAt(0, []byte("b")); !errors.Is(err, ErrLogChanged) {
+		t.Errorf("stale ProposeAt: %v, want ErrLogChanged", err)
+	}
+	if _, _, err := n.ProposeAt(1, []byte("b")); err != nil {
+		t.Errorf("fresh ProposeAt: %v", err)
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	g := newGroup(t, 3, wal.SyncCommits)
+	ld := g.waitLeader(t)
+	proposeAndWait(t, g.nodes[ld], "before")
+	// Kill the leader (stop node + unregister its server).
+	g.nodes[ld].Stop()
+	g.servers[ld].Close()
+	// A new leader emerges among the survivors.
+	deadline := time.Now().Add(5 * time.Second)
+	newLd := -1
+	for time.Now().Before(deadline) && newLd == -1 {
+		for i, n := range g.nodes {
+			if i == ld {
+				continue
+			}
+			if r, _ := n.Role(); r == Leader {
+				newLd = i
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if newLd == -1 {
+		t.Fatal("no new leader after failover")
+	}
+	// The committed entry survives and progress continues.
+	idx := proposeAndWait(t, g.nodes[newLd], "after")
+	if idx != 2 {
+		t.Errorf("post-failover entry at index %d, want 2 (entry 'before' must survive)", idx)
+	}
+}
+
+func TestRecoveryFromWALImage(t *testing.T) {
+	g := newGroup(t, 3, wal.SyncCommits)
+	ld := g.waitLeader(t)
+	for i := 0; i < 5; i++ {
+		proposeAndWait(t, g.nodes[ld], fmt.Sprintf("e%d", i))
+	}
+	// Crash a follower, recover a fresh node from its WAL image.
+	victim := (ld + 1) % 3
+	img := g.nodes[victim].WALImage()
+	g.nodes[victim].Stop()
+	g.servers[victim].Close()
+
+	peers := make(map[int]transport.Client)
+	for j := range g.nodes {
+		if j != victim {
+			peers[j] = g.fabric.Dial(fmt.Sprintf("cert%d", j))
+		}
+	}
+	revived := NewNode(Config{
+		ID: victim, Peers: peers,
+		Disk:            simdisk.New(simdisk.Instant(), 99),
+		ElectionTimeout: 40 * time.Millisecond,
+		Seed:            99,
+	})
+	if err := revived.RestoreFromImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if revived.LogLength() < 5 {
+		t.Errorf("restored log length %d, want >= 5", revived.LogLength())
+	}
+	g.fabric.Serve(fmt.Sprintf("cert%d", victim), revived.HandleRPC)
+	revived.Start()
+	defer revived.Stop()
+
+	// It catches up and follows new commits.
+	proposeAndWait(t, g.nodes[ld], "post-recovery")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && revived.CommitIndex() < 6 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if revived.CommitIndex() < 6 {
+		t.Errorf("revived commit = %d, want >= 6", revived.CommitIndex())
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	n := NewNode(Config{ID: 0})
+	defer n.Stop()
+	if err := n.RestoreFromImage([]byte{1, 2, 3}); err == nil {
+		// A 3-byte image is a torn header: wal.Scan yields no records,
+		// so this actually succeeds with an empty log. That is correct
+		// crash semantics; only structurally bad records must error.
+		if n.LogLength() != 0 {
+			t.Error("garbage image produced log entries")
+		}
+	}
+}
+
+func TestStateTransferFetch(t *testing.T) {
+	g := newGroup(t, 3, wal.SyncCommits)
+	ld := g.waitLeader(t)
+	for i := 0; i < 8; i++ {
+		proposeAndWait(t, g.nodes[ld], fmt.Sprintf("e%d", i))
+	}
+	client := g.fabric.Dial(fmt.Sprintf("cert%d", ld))
+	entries, commit, err := Fetch(client, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commit < 8 {
+		t.Errorf("fetch commit = %d", commit)
+	}
+	if len(entries) < 6 || entries[0].Index != 3 {
+		t.Errorf("fetched %d entries starting at %d", len(entries), entries[0].Index)
+	}
+}
+
+func TestMinorityCannotCommit(t *testing.T) {
+	g := newGroup(t, 3, wal.SyncCommits)
+	ld := g.waitLeader(t)
+	// Stop both followers: leader alone must not commit new entries.
+	for i := range g.nodes {
+		if i != ld {
+			g.nodes[i].Stop()
+			g.servers[i].Close()
+		}
+	}
+	idx, term, err := g.nodes[ld].Propose([]byte("orphan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.nodes[ld].WaitCommitted(idx, term) }()
+	select {
+	case err := <-done:
+		t.Fatalf("minority leader committed: %v", err)
+	case <-time.After(300 * time.Millisecond):
+		// expected: no commit
+	}
+	if g.nodes[ld].CommitIndex() >= idx {
+		t.Error("commit index advanced without majority")
+	}
+}
+
+func TestGroupCommitAcrossProposals(t *testing.T) {
+	// Concurrent proposals at the leader must share leader-disk fsyncs.
+	disk := simdisk.New(simdisk.Profile{FsyncLatency: 3 * time.Millisecond}, 7)
+	fabric := transport.NewLocalFabric(0)
+	n := NewNode(Config{
+		ID: 0, Peers: map[int]transport.Client{},
+		Disk:            disk,
+		ElectionTimeout: 30 * time.Millisecond,
+		Seed:            1,
+	})
+	fabric.Serve("cert0", n.HandleRPC)
+	n.Start()
+	defer n.Stop()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if r, _ := n.Role(); r == Leader {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no leader")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	const k = 32
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idx, term, err := n.Propose([]byte{byte(i)})
+			if err != nil {
+				t.Errorf("propose %d: %v", i, err)
+				return
+			}
+			if err := n.WaitCommitted(idx, term); err != nil {
+				t.Errorf("wait %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Allow a couple extra fsyncs for meta records.
+	if f := disk.Stats().Fsyncs; f > k/2+4 {
+		t.Errorf("%d fsyncs for %d concurrent proposals; want grouping", f, k)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Follower.String() != "follower" || Candidate.String() != "candidate" || Leader.String() != "leader" {
+		t.Error("Role.String mismatch")
+	}
+	if Role(9).String() == "" {
+		t.Error("unknown role should render")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	n := NewNode(Config{ID: 0})
+	n.Start()
+	n.Stop()
+	n.Stop()
+	if _, _, err := n.Propose([]byte("x")); !errors.Is(err, ErrStopped) {
+		t.Errorf("Propose after stop: %v", err)
+	}
+}

@@ -1,0 +1,477 @@
+package paxos
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// WAL record kinds.
+const (
+	recEntry byte = 'E'
+	recMeta  byte = 'M'
+)
+
+// metaRecord persists election state (term and vote) so a recovering
+// node cannot double-vote.
+type metaRecord struct {
+	Term     uint64
+	VotedFor int
+}
+
+// RPC argument/reply types (gob-encoded on the wire).
+
+type voteArgs struct {
+	Term      uint64
+	Candidate int
+	LastIndex uint64
+	LastTerm  uint64
+}
+
+type voteReply struct {
+	Term    uint64
+	Granted bool
+}
+
+type appendArgs struct {
+	Term      uint64
+	LeaderID  int
+	PrevIndex uint64
+	PrevTerm  uint64
+	Entries   []Entry
+	Commit    uint64
+}
+
+type appendReply struct {
+	Term  uint64
+	OK    bool
+	Match uint64 // on success: last replicated index; on failure: a backup hint
+}
+
+type fetchArgs struct {
+	From uint64
+}
+
+type fetchReply struct {
+	Entries []Entry
+	Commit  uint64
+}
+
+// Method names on the transport.
+const (
+	MethodVote   = "paxos.vote"
+	MethodAppend = "paxos.append"
+	MethodFetch  = "paxos.fetch"
+)
+
+// HandleRPC dispatches a transport request to the protocol. The owner
+// (the certifier server) routes all "paxos.*" methods here.
+func (n *Node) HandleRPC(method string, req []byte) ([]byte, error) {
+	switch method {
+	case MethodVote:
+		var args voteArgs
+		if err := gobDecode(req, &args); err != nil {
+			return nil, err
+		}
+		return gobEncode(n.handleVote(args))
+	case MethodAppend:
+		var args appendArgs
+		if err := gobDecode(req, &args); err != nil {
+			return nil, err
+		}
+		return gobEncode(n.handleAppend(args))
+	case MethodFetch:
+		var args fetchArgs
+		if err := gobDecode(req, &args); err != nil {
+			return nil, err
+		}
+		return gobEncode(n.handleFetch(args))
+	default:
+		return nil, fmt.Errorf("paxos: unknown method %q", method)
+	}
+}
+
+// persistMetaLocked writes term/vote durably. Called with n.mu held;
+// temporarily releases it around the disk write.
+func (n *Node) persistMetaLocked() {
+	m := metaRecord{Term: n.term, VotedFor: n.votedFor}
+	n.mu.Unlock()
+	n.appendWAL(recMeta, m)
+	n.mu.Lock()
+}
+
+func (n *Node) appendWAL(kind byte, v interface{}) error {
+	payload, err := gobEncode(v)
+	if err != nil {
+		return err
+	}
+	return n.wal.Append(append([]byte{kind}, payload...))
+}
+
+func (n *Node) handleVote(args voteArgs) voteReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if args.Term < n.term {
+		return voteReply{Term: n.term, Granted: false}
+	}
+	if args.Term > n.term {
+		n.term = args.Term
+		n.votedFor = -1
+		n.role = Follower
+		n.persistMetaLocked()
+	}
+	lastIdx := uint64(len(n.log))
+	var lastTerm uint64
+	if lastIdx > 0 {
+		lastTerm = n.log[lastIdx-1].Term
+	}
+	upToDate := args.LastTerm > lastTerm ||
+		(args.LastTerm == lastTerm && args.LastIndex >= lastIdx)
+	if (n.votedFor == -1 || n.votedFor == args.Candidate) && upToDate {
+		n.votedFor = args.Candidate
+		n.lastHeard = nowFunc()
+		n.persistMetaLocked()
+		return voteReply{Term: n.term, Granted: true}
+	}
+	return voteReply{Term: n.term, Granted: false}
+}
+
+func (n *Node) handleAppend(args appendArgs) appendReply {
+	n.mu.Lock()
+	if args.Term < n.term {
+		defer n.mu.Unlock()
+		return appendReply{Term: n.term, OK: false, Match: 0}
+	}
+	if args.Term > n.term || n.role != Follower {
+		n.term = args.Term
+		n.votedFor = args.LeaderID
+		n.role = Follower
+		n.persistMetaLocked()
+	}
+	n.leaderHint = args.LeaderID
+	n.lastHeard = nowFunc()
+
+	// Consistency check at PrevIndex.
+	if args.PrevIndex > uint64(len(n.log)) {
+		hint := n.commitIndex
+		n.mu.Unlock()
+		return appendReply{Term: args.Term, OK: false, Match: hint}
+	}
+	if args.PrevIndex > 0 && n.log[args.PrevIndex-1].Term != args.PrevTerm {
+		hint := n.commitIndex
+		n.mu.Unlock()
+		return appendReply{Term: args.Term, OK: false, Match: hint}
+	}
+	// Append entries, truncating any conflicting suffix.
+	var toPersist []Entry
+	for i, e := range args.Entries {
+		idx := args.PrevIndex + uint64(i) + 1
+		if idx <= uint64(len(n.log)) {
+			if n.log[idx-1].Term == e.Term {
+				continue // already have it
+			}
+			n.log = n.log[:idx-1]
+			if n.stableIndex > idx-1 {
+				n.stableIndex = idx - 1
+			}
+		}
+		n.log = append(n.log, e)
+		toPersist = append(toPersist, e)
+	}
+	match := args.PrevIndex + uint64(len(args.Entries))
+	n.mu.Unlock()
+
+	// Persist the whole round with one group-committed batch; ack
+	// only after our disk write, as the paper requires ("All
+	// certifiers write the new state to disk and reply").
+	if len(toPersist) > 0 {
+		payloads := make([][]byte, 0, len(toPersist))
+		for _, e := range toPersist {
+			p, err := gobEncode(e)
+			if err != nil {
+				return appendReply{Term: args.Term, OK: false}
+			}
+			payloads = append(payloads, append([]byte{recEntry}, p...))
+		}
+		if err := n.wal.AppendBatch(payloads); err != nil {
+			return appendReply{Term: args.Term, OK: false}
+		}
+	}
+
+	n.mu.Lock()
+	if match > n.stableIndex && match <= uint64(len(n.log)) {
+		n.stableIndex = match
+	}
+	if args.Commit > n.commitIndex {
+		c := args.Commit
+		if l := uint64(len(n.log)); c > l {
+			c = l
+		}
+		n.commitIndex = c
+	}
+	n.cond.Broadcast()
+	term := n.term
+	n.mu.Unlock()
+	return appendReply{Term: term, OK: true, Match: match}
+}
+
+func (n *Node) handleFetch(args fetchArgs) fetchReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if args.From == 0 {
+		args.From = 1
+	}
+	var out []Entry
+	if args.From <= n.commitIndex {
+		out = make([]Entry, n.commitIndex-args.From+1)
+		copy(out, n.log[args.From-1:n.commitIndex])
+	}
+	return fetchReply{Entries: out, Commit: n.commitIndex}
+}
+
+// Fetch pulls committed entries [from, commit] from a peer — the
+// recovering certifier's state transfer (paper §9.6: "essentially a
+// file transfer").
+func Fetch(peer interface {
+	Call(method string, req []byte) ([]byte, error)
+}, from uint64) ([]Entry, uint64, error) {
+	req, err := gobEncode(fetchArgs{From: from})
+	if err != nil {
+		return nil, 0, err
+	}
+	respB, err := peer.Call(MethodFetch, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	var resp fetchReply
+	if err := gobDecode(respB, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Entries, resp.Commit, nil
+}
+
+// startElectionLocked transitions to candidate and solicits votes.
+// Called with n.mu held; it unlocks.
+func (n *Node) startElectionLocked() {
+	n.role = Candidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.lastHeard = nowFunc()
+	term := n.term
+	lastIdx := uint64(len(n.log))
+	var lastTerm uint64
+	if lastIdx > 0 {
+		lastTerm = n.log[lastIdx-1].Term
+	}
+	n.persistMetaLocked()
+	peers := n.cfg.Peers
+	n.mu.Unlock()
+
+	args := voteArgs{Term: term, Candidate: n.cfg.ID, LastIndex: lastIdx, LastTerm: lastTerm}
+	req, err := gobEncode(args)
+	if err != nil {
+		return
+	}
+	var mu sync.Mutex
+	votes := 1 // self
+	decided := false
+	var wg sync.WaitGroup
+	for id, client := range peers {
+		id, client := id, client
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			respB, err := client.Call(MethodVote, req)
+			if err != nil {
+				return
+			}
+			var resp voteReply
+			if err := gobDecode(respB, &resp); err != nil {
+				return
+			}
+			n.mu.Lock()
+			if resp.Term > n.term {
+				n.term = resp.Term
+				n.role = Follower
+				n.votedFor = -1
+				n.persistMetaLocked()
+				n.mu.Unlock()
+				return
+			}
+			n.mu.Unlock()
+			if !resp.Granted {
+				return
+			}
+			mu.Lock()
+			votes++
+			win := votes >= n.majority() && !decided
+			if win {
+				decided = true
+			}
+			mu.Unlock()
+			_ = id
+			if win {
+				n.becomeLeader(term)
+			}
+		}()
+	}
+	// Single-node group: immediate win.
+	if len(peers) == 0 {
+		n.becomeLeader(term)
+	}
+	go wg.Wait()
+}
+
+// becomeLeader installs leader state if still a candidate for term.
+func (n *Node) becomeLeader(term uint64) {
+	n.mu.Lock()
+	if n.stopped || n.role != Candidate || n.term != term {
+		n.mu.Unlock()
+		return
+	}
+	n.role = Leader
+	n.leaderHint = n.cfg.ID
+	n.matchIndex = make(map[int]uint64)
+	if n.nextIndex == nil {
+		n.nextIndex = make(map[int]uint64)
+	}
+	for id := range n.cfg.Peers {
+		n.nextIndex[id] = uint64(len(n.log)) + 1
+		n.matchIndex[id] = 0
+	}
+	// Our whole local log is stable (it was recovered from / written
+	// through the WAL) except volatile leader appends, which track via
+	// persistEntry. Conservative: keep current stableIndex.
+	n.mu.Unlock()
+	n.broadcastAppend()
+}
+
+// broadcastAppend pushes outstanding entries (or a heartbeat) to every
+// peer. Per-peer sends are serialized by an inflight flag so a slow
+// follower gets one batched catch-up rather than a pile of overlapping
+// RPCs.
+func (n *Node) broadcastAppend() {
+	n.mu.Lock()
+	if n.role != Leader || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	peers := make([]int, 0, len(n.cfg.Peers))
+	for id := range n.cfg.Peers {
+		peers = append(peers, id)
+	}
+	n.mu.Unlock()
+	for _, id := range peers {
+		go n.replicateTo(id)
+	}
+}
+
+// replicateTo sends one append round to a peer, retrying backwards on
+// log mismatch until it lands or leadership is lost.
+func (n *Node) replicateTo(peer int) {
+	n.mu.Lock()
+	if n.inflight == nil {
+		n.inflight = make(map[int]bool)
+	}
+	if n.inflight[peer] || n.role != Leader || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.inflight[peer] = true
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.inflight[peer] = false
+		more := n.role == Leader && !n.stopped && n.nextIndex[peer] <= uint64(len(n.log))
+		n.mu.Unlock()
+		if more {
+			go n.replicateTo(peer)
+		}
+	}()
+
+	for attempt := 0; attempt < 64; attempt++ {
+		n.mu.Lock()
+		if n.role != Leader || n.stopped {
+			n.mu.Unlock()
+			return
+		}
+		next := n.nextIndex[peer]
+		if next == 0 {
+			next = 1
+		}
+		prevIdx := next - 1
+		var prevTerm uint64
+		if prevIdx > 0 && prevIdx <= uint64(len(n.log)) {
+			prevTerm = n.log[prevIdx-1].Term
+		}
+		entries := make([]Entry, uint64(len(n.log))-prevIdx)
+		copy(entries, n.log[prevIdx:])
+		args := appendArgs{
+			Term: n.term, LeaderID: n.cfg.ID,
+			PrevIndex: prevIdx, PrevTerm: prevTerm,
+			Entries: entries, Commit: n.commitIndex,
+		}
+		client := n.cfg.Peers[peer]
+		n.mu.Unlock()
+
+		req, err := gobEncode(args)
+		if err != nil {
+			return
+		}
+		respB, err := client.Call(MethodAppend, req)
+		if err != nil {
+			return // peer down; heartbeat will retry
+		}
+		var resp appendReply
+		if err := gobDecode(respB, &resp); err != nil {
+			return
+		}
+
+		n.mu.Lock()
+		if resp.Term > n.term {
+			n.term = resp.Term
+			n.role = Follower
+			n.votedFor = -1
+			n.persistMetaLocked()
+			n.cond.Broadcast()
+			n.mu.Unlock()
+			return
+		}
+		if n.role != Leader || n.term != args.Term {
+			n.mu.Unlock()
+			return
+		}
+		if resp.OK {
+			if resp.Match > n.matchIndex[peer] {
+				n.matchIndex[peer] = resp.Match
+			}
+			n.nextIndex[peer] = resp.Match + 1
+			n.maybeAdvanceCommitLocked()
+			n.mu.Unlock()
+			return
+		}
+		// Mismatch: back up using the follower's hint and retry.
+		backup := resp.Match + 1
+		if backup >= next && next > 1 {
+			backup = next - 1
+		}
+		if backup < 1 {
+			backup = 1
+		}
+		n.nextIndex[peer] = backup
+		n.mu.Unlock()
+	}
+}
+
+func gobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(b []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

@@ -1,0 +1,502 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tashkent/internal/certifier"
+	"tashkent/internal/core"
+	"tashkent/internal/mvstore"
+)
+
+// sequencer admits certifier responses in their per-replica sequence
+// order: response seq k runs only after 1..k-1 have finished. The
+// certifier assigns the numbers in its (serial) processing order, so
+// this reconstructs the global order at the proxy even when transport
+// reorders concurrent responses.
+type sequencer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// next is the sequence number admitted next; 0 means unanchored
+	// (a freshly created or recovered proxy anchors to the first
+	// response it sees, since the certifier's per-replica numbering
+	// survives replica restarts).
+	next uint64
+}
+
+func newSequencer() *sequencer {
+	s := &sequencer{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// errStaleSeq reports a sequence number below the current cursor
+// (possible only after a resync skipped it).
+var errStaleSeq = errors.New("proxy: stale response sequence")
+
+// errSeqTimeout reports that a predecessor response never arrived.
+var errSeqTimeout = errors.New("proxy: response sequence gap timeout")
+
+// enter blocks until seq is the next to run. The caller must invoke
+// exit afterwards. A timeout means a predecessor was lost (certifier
+// failover); the caller resynchronizes.
+func (s *sequencer) enter(seq uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.next == 0 {
+		s.next = seq
+	}
+	for s.next != seq {
+		if s.next > seq {
+			return errStaleSeq
+		}
+		if time.Now().After(deadline) {
+			return errSeqTimeout
+		}
+		// cond.Wait has no deadline; poke the condition periodically.
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			s.cond.Broadcast()
+		}()
+		s.cond.Wait()
+	}
+	return nil
+}
+
+// exit releases the sequencer after seq's work is scheduled.
+func (s *sequencer) exit(seq uint64) {
+	s.mu.Lock()
+	if s.next == seq {
+		s.next = seq + 1
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// skipTo forces the cursor forward after a resync declared earlier
+// sequence numbers lost.
+func (s *sequencer) skipTo(seq uint64) {
+	s.mu.Lock()
+	if seq > s.next {
+		s.next = seq
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// --- Serial strategy (Base and Tashkent-MW) ---
+
+// commitSerial implements steps C4/C5 of §6.2 with the serial
+// discipline: the grouped remote writesets commit first (one WAL
+// flush in Base, an in-memory action in Tashkent-MW), then the local
+// transaction commits (another flush in Base). Certification itself is
+// concurrent across client sessions; only application is serialized,
+// which is exactly what makes Base pay two unsharable fsyncs per
+// update transaction.
+func (p *Proxy) commitSerial(t *Tx, req certifier.Request) error {
+	resp, err := p.cfg.Cert.Certify(req)
+	if err != nil {
+		t.inner.Abort()
+		return fmt.Errorf("proxy: certification: %w", err)
+	}
+	if err := p.seq.enter(resp.ReplicaSeq, p.cfg.SeqTimeout); err != nil {
+		p.handleSeqFailure(err, resp.ReplicaSeq)
+		// After a resync every remote writeset is applied; the local
+		// transaction's fate follows the certifier decision below, but
+		// its writes were certified against a version we have already
+		// passed, so apply-by-writeset keeps state correct.
+		if resp.Committed {
+			p.applyLocalByWriteset(t, resp.CommitVersion)
+			return nil
+		}
+		t.inner.Abort()
+		p.addStat(func(st *Stats) { st.CertAborts++ })
+		return ErrCertificationAbort
+	}
+	defer p.seq.exit(resp.ReplicaSeq)
+
+	p.mu.Lock()
+	basis := p.rvPlanned
+	p.mu.Unlock()
+	remotes, err := p.decodeRemotes(resp.Remote, basis)
+	if err != nil {
+		t.inner.Abort()
+		return err
+	}
+
+	// Apply the grouped remote writesets in their own transaction.
+	maxRemote := basis
+	if len(remotes) > 0 {
+		merged := &core.Writeset{}
+		for _, r := range remotes {
+			merged.Merge(r.ws)
+			if r.version > maxRemote {
+				maxRemote = r.version
+			}
+		}
+		if err := p.applyBatchWithRecovery(merged, basis, maxRemote, false); err != nil {
+			t.inner.Abort()
+			return err
+		}
+		p.recordRemotes(remotes)
+		p.addStat(func(st *Stats) {
+			st.RemoteApplied += int64(len(remotes))
+			st.RemoteChunks++
+		})
+	}
+
+	if !resp.Committed {
+		t.inner.Abort()
+		p.advanceRV(maxRemote)
+		p.addStat(func(st *Stats) { st.CertAborts++ })
+		return ErrCertificationAbort
+	}
+
+	// Commit the local transaction at its global version.
+	from := maxRemote
+	if err := t.inner.CommitLabeled(from, resp.CommitVersion); err != nil {
+		// Soft recovery (§8.1): the database refused the commit, but
+		// the transaction is globally committed — re-apply its
+		// writeset as a fresh transaction.
+		p.addStat(func(st *Stats) { st.SoftRecoveries++ })
+		if err := p.applyBatchWithRecovery(req.MustWriteset(), from, resp.CommitVersion, false); err != nil {
+			return err
+		}
+	}
+	p.advanceRV(resp.CommitVersion)
+	p.addStat(func(st *Stats) { st.Commits++ })
+	return nil
+}
+
+// --- Ordered strategy (Tashkent-API) ---
+
+// commitOrdered implements §5.2: remote writesets and the local commit
+// are submitted to the database *concurrently*, each carrying its
+// global version range; the database groups their commit records into
+// shared fsyncs and the ordering semaphore announces them in global
+// order. Artificial conflicts split the remote writesets into chunks
+// that wait for the conflicting version to be announced first.
+func (p *Proxy) commitOrdered(t *Tx, req certifier.Request) error {
+	resp, err := p.cfg.Cert.Certify(req)
+	if err != nil {
+		t.inner.Abort()
+		return fmt.Errorf("proxy: certification: %w", err)
+	}
+	if err := p.seq.enter(resp.ReplicaSeq, p.cfg.SeqTimeout); err != nil {
+		p.handleSeqFailure(err, resp.ReplicaSeq)
+		if resp.Committed {
+			p.applyLocalByWriteset(t, resp.CommitVersion)
+			return nil
+		}
+		t.inner.Abort()
+		p.addStat(func(st *Stats) { st.CertAborts++ })
+		return ErrCertificationAbort
+	}
+
+	p.mu.Lock()
+	basis := p.rvPlanned
+	p.mu.Unlock()
+	remotes, err := p.decodeRemotes(resp.Remote, basis)
+	if err != nil {
+		p.seq.exit(resp.ReplicaSeq)
+		t.inner.Abort()
+		return err
+	}
+	chunks := buildChunks(basis, p.cfg.Store.AnnouncedVersion(), remotes)
+
+	// Advance the planning cursor and release the sequencer: the
+	// actual disk work proceeds concurrently, ordered by the store's
+	// announce semaphore.
+	top := basis
+	for _, c := range chunks {
+		if c.to > top {
+			top = c.to
+		}
+	}
+	if resp.Committed && resp.CommitVersion > top {
+		top = resp.CommitVersion
+	}
+	p.advanceRV(top)
+	p.recordRemotes(remotes)
+	if n := int64(len(remotes)); n > 0 {
+		p.addStat(func(st *Stats) {
+			st.RemoteApplied += n
+			st.RemoteChunks += int64(len(chunks))
+		})
+	}
+	p.seq.exit(resp.ReplicaSeq)
+
+	// Launch chunk applications concurrently.
+	for _, c := range chunks {
+		c := c
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.applyChunk(c)
+		}()
+	}
+
+	if !resp.Committed {
+		t.inner.Abort()
+		p.addStat(func(st *Stats) { st.CertAborts++ })
+		return ErrCertificationAbort
+	}
+	// The local commit: concurrent with the chunks, ordered by the
+	// semaphore, groupable with everything in flight.
+	if err := t.inner.CommitOrdered(resp.CommitVersion-1, resp.CommitVersion); err != nil {
+		p.addStat(func(st *Stats) { st.SoftRecoveries++ })
+		if err2 := p.applyBatchWithRecovery(req.MustWriteset(), resp.CommitVersion-1, resp.CommitVersion, true); err2 != nil {
+			return fmt.Errorf("proxy: local commit failed (%v) and soft recovery failed: %w", err, err2)
+		}
+	}
+	p.addStat(func(st *Stats) { st.Commits++ })
+	return nil
+}
+
+// chunk is one group of remote writesets applied as a single
+// transaction covering global versions (From, To].
+type chunk struct {
+	from, to uint64
+	ws       *core.Writeset
+	// waitFor, when nonzero, is the version that must be announced
+	// before this chunk may take its locks (artificial conflict,
+	// §5.2.1).
+	waitFor uint64
+	split   bool // split caused by an artificial conflict (stats)
+}
+
+// buildChunks groups the remote writesets of one response. Writesets
+// with consecutive versions and no unresolved conflicts share a chunk
+// (one commit record, groupable); a version gap (caused by this
+// replica's own in-flight commits) or an artificial conflict starts a
+// new chunk. basis is the highest version already *scheduled* at this
+// replica; announced is the highest version already *visible*. A
+// writeset whose safe-back bound lies above announced must wait for
+// the conflicting version to commit before taking locks (§5.2.1 —
+// "the proxy delays submitting W45 until the conflicting transaction
+// T43 commits").
+func buildChunks(basis, announced uint64, remotes []appliedRemote) []chunk {
+	var out []chunk
+	var cur *chunk
+	for i := range remotes {
+		r := &remotes[i]
+		conflict := r.safeBack > announced
+		startNew := cur == nil || r.version != cur.to+1 || conflict
+		if startNew {
+			if cur != nil {
+				out = append(out, *cur)
+			}
+			c := chunk{from: r.version - 1, to: r.version, ws: r.ws.Clone()}
+			if conflict {
+				c.waitFor = r.safeBack
+				c.split = r.safeBack > basis // a true in-window artificial conflict
+			}
+			cur = &c
+			continue
+		}
+		cur.ws.Merge(r.ws)
+		cur.to = r.version
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	return out
+}
+
+// applyChunk applies one remote chunk with retries (soft recovery).
+func (p *Proxy) applyChunk(c chunk) {
+	if c.split {
+		p.addStat(func(st *Stats) { st.ArtificialConflicts++ })
+	}
+	if c.waitFor > 0 {
+		if err := p.cfg.Store.WaitAnnounced(c.waitFor, p.cfg.ChunkWaitTimeout); err != nil {
+			// Predecessor never announced (crash path); give up — the
+			// recovery machinery re-applies from the certifier log.
+			return
+		}
+	}
+	p.applyBatchWithRecovery(c.ws, c.from, c.to, true)
+}
+
+// applyBatchWithRecovery applies a merged writeset as one transaction,
+// retrying transient failures (lock conflicts with doomed local
+// transactions, database-side commit rejections) — the §8.1 soft
+// recovery loop. ordered selects CommitOrdered vs CommitLabeled.
+func (p *Proxy) applyBatchWithRecovery(ws *core.Writeset, from, to uint64, ordered bool) error {
+	p.markInFlight(ws, true)
+	defer p.markInFlight(ws, false)
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			p.addStat(func(st *Stats) { st.SoftRecoveries++ })
+			// Let predecessors finish so conflicting locks drain.
+			p.cfg.Store.WaitAnnounced(from, p.cfg.ChunkWaitTimeout)
+		}
+		p.killConflictingLocals(ws, 0)
+		lastErr = p.applyBatchOnce(ws, from, to, ordered)
+		if lastErr == nil {
+			return nil
+		}
+		if errors.Is(lastErr, mvstore.ErrCrashed) {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("proxy: applying remote writesets (%d,%d]: %w", from, to, lastErr)
+}
+
+func (p *Proxy) applyBatchOnce(ws *core.Writeset, from, to uint64, ordered bool) error {
+	tx, err := p.cfg.Store.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.ApplyWriteset(ws); err != nil {
+		tx.Abort()
+		return err
+	}
+	if ordered {
+		err = tx.CommitOrdered(from, to)
+	} else {
+		err = tx.CommitLabeled(from, to)
+	}
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	return nil
+}
+
+// applyLocalByWriteset commits a certified local transaction by
+// re-applying its writeset (used on the degraded post-resync path
+// where the original handle cannot follow the normal pipeline).
+func (p *Proxy) applyLocalByWriteset(t *Tx, commitVersion uint64) {
+	ws := t.inner.Writeset().Clone()
+	t.inner.Abort()
+	p.applyBatchWithRecovery(ws, commitVersion-1, commitVersion, false)
+	p.cfg.Store.SetAnnounced(commitVersion)
+	p.advanceRV(commitVersion)
+	p.addStat(func(st *Stats) { st.Commits++ })
+}
+
+// SetReplicaVersion initializes the planning cursor after recovery
+// (the database state already covers versions up to v).
+func (p *Proxy) SetReplicaVersion(v uint64) { p.advanceRV(v) }
+
+// advanceRV raises the planning cursor.
+func (p *Proxy) advanceRV(v uint64) {
+	p.mu.Lock()
+	if v > p.rvPlanned {
+		p.rvPlanned = v
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) addStat(f func(*Stats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// handleSeqFailure recovers from a broken response sequence (lost
+// responses after certifier failover): declare the gap lost, pull
+// everything from the certifier and apply it serially — always safe
+// because writesets carry absolute values.
+func (p *Proxy) handleSeqFailure(cause error, seq uint64) {
+	if errors.Is(cause, errStaleSeq) {
+		return // our slot was skipped by a resync; state already covers us
+	}
+	p.seq.skipTo(seq + 1)
+	p.Resync()
+}
+
+// Resync pulls all missing remote writesets and applies them serially,
+// bringing the replica to the certifier's committed version. Used
+// after crashes, failovers and sequence gaps.
+func (p *Proxy) Resync() error {
+	p.addStat(func(st *Stats) { st.Resyncs++ })
+	resp, err := p.cfg.Cert.Pull(certifier.PullRequest{
+		Origin:         p.cfg.ReplicaID,
+		ReplicaVersion: p.ReplicaVersion(),
+		IncludeOwn:     true, // our own writesets were lost with the crash
+	})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	basis := p.rvPlanned
+	p.mu.Unlock()
+	remotes, err := p.decodeRemotes(resp.Remote, basis)
+	if err != nil {
+		return err
+	}
+	cur := basis
+	for _, r := range remotes {
+		if err := p.applyBatchWithRecovery(r.ws, cur, r.version, false); err != nil {
+			return err
+		}
+		cur = r.version
+		p.addStat(func(st *Stats) { st.RemoteApplied++ })
+	}
+	if resp.SystemVersion > cur {
+		cur = resp.SystemVersion
+	}
+	p.cfg.Store.SetAnnounced(cur)
+	p.advanceRV(cur)
+	p.recordRemotes(remotes)
+	return nil
+}
+
+// applyResponse is the sequenced application path shared by PullOnce.
+func (p *Proxy) applyResponse(seq uint64, remote []certifier.RemoteWS, committed bool, commitVersion uint64, _ *Tx) error {
+	if err := p.seq.enter(seq, p.cfg.SeqTimeout); err != nil {
+		p.handleSeqFailure(err, seq)
+		return nil
+	}
+	defer p.seq.exit(seq)
+	p.mu.Lock()
+	basis := p.rvPlanned
+	p.mu.Unlock()
+	remotes, err := p.decodeRemotes(remote, basis)
+	if err != nil {
+		return err
+	}
+	if len(remotes) == 0 {
+		return nil
+	}
+	maxRemote := basis
+	if p.cfg.Mode == TashkentAPI {
+		chunks := buildChunks(basis, p.cfg.Store.AnnouncedVersion(), remotes)
+		for _, c := range chunks {
+			if c.to > maxRemote {
+				maxRemote = c.to
+			}
+		}
+		p.advanceRV(maxRemote)
+		p.recordRemotes(remotes)
+		for _, c := range chunks {
+			c := c
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.applyChunk(c)
+			}()
+		}
+		return nil
+	}
+	merged := &core.Writeset{}
+	for _, r := range remotes {
+		merged.Merge(r.ws)
+		if r.version > maxRemote {
+			maxRemote = r.version
+		}
+	}
+	if err := p.applyBatchWithRecovery(merged, basis, maxRemote, false); err != nil {
+		return err
+	}
+	p.advanceRV(maxRemote)
+	p.recordRemotes(remotes)
+	p.addStat(func(st *Stats) { st.RemoteApplied += int64(len(remotes)); st.RemoteChunks++ })
+	return nil
+}

@@ -1,0 +1,479 @@
+// Package proxy implements the transparent middleware proxy that sits
+// in front of each database replica (paper §6.2): it intercepts BEGIN
+// and COMMIT, tracks the replica version, invokes certification, and
+// applies remote writesets — in one of three commit strategies:
+//
+//   - Base: ordering in the middleware, durability in the database.
+//     Remote-writeset batches and local commits are submitted
+//     *serially*, each paying its own synchronous WAL flush — the
+//     scalability bottleneck the paper identifies.
+//   - Tashkent-MW: same serial submission, but the database runs with
+//     synchronous writes disabled; durability lives in the certifier's
+//     group-committed log. Replica commits are in-memory operations.
+//   - Tashkent-API: the database keeps durability but the proxy uses
+//     the extended COMMIT <seq> API, submitting remote batches and
+//     local commits concurrently so the database groups their commit
+//     records into shared fsyncs while announcing them in the exact
+//     global order. Artificial conflicts between remote writesets
+//     (§5.2.1) are detected via the certifier's safe-back annotations
+//     and force partial serialization.
+//
+// The proxy also implements the paper's optimizations: local
+// certification (§6.2), eager pre-certification for deadlock avoidance
+// (§8.2), staleness bounding (§6.2), and soft recovery (§8.1).
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tashkent/internal/certifier"
+	"tashkent/internal/core"
+	"tashkent/internal/mvstore"
+)
+
+// Mode selects the commit strategy.
+type Mode int
+
+// The three systems compared in the paper.
+const (
+	// Base separates ordering (middleware) from durability (database).
+	Base Mode = iota + 1
+	// TashkentMW unites them in the middleware (certifier log).
+	TashkentMW
+	// TashkentAPI unites them in the database (ordered commits).
+	TashkentAPI
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case Base:
+		return "base"
+	case TashkentMW:
+		return "tashMW"
+	case TashkentAPI:
+		return "tashAPI"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrCertificationAbort is returned to the client when certification
+// (global or local) found a write-write conflict; the client may retry
+// the whole transaction.
+var ErrCertificationAbort = errors.New("proxy: transaction aborted by certification")
+
+// ErrProxyClosed reports use of a closed proxy.
+var ErrProxyClosed = errors.New("proxy: closed")
+
+// Stats is a snapshot of proxy activity.
+type Stats struct {
+	Commits             int64
+	ReadOnlyCommits     int64
+	CertAborts          int64 // certifier-decided aborts
+	LocalCertAborts     int64 // aborts decided locally without a round trip
+	RemoteApplied       int64 // remote writesets applied
+	RemoteChunks        int64 // grouped remote transactions submitted
+	ArtificialConflicts int64 // chunk splits forced by safe-back info
+	EagerKills          int64 // local transactions killed to admit remote writesets
+	SoftRecoveries      int64 // §8.1 soft-recovery rounds
+	Resyncs             int64 // full pull-based resynchronizations
+	StalenessPulls      int64
+}
+
+// Config parameterizes a proxy.
+type Config struct {
+	Mode      Mode
+	ReplicaID int
+	Store     *mvstore.Store
+	Cert      *certifier.Client
+	// LocalCertification enables the proxy-side pre-check against
+	// recently seen remote writesets.
+	LocalCertification bool
+	// EagerPreCert kills conflicting local transactions before
+	// applying a remote writeset instead of relying on lock timeouts.
+	EagerPreCert bool
+	// StalenessBound, if nonzero, pulls remote writesets from the
+	// certifier after this much idle time.
+	StalenessBound time.Duration
+	// SeqTimeout bounds how long a response waits for its turn in the
+	// per-replica sequence before triggering a resync (0 = 5 s).
+	SeqTimeout time.Duration
+	// ChunkWaitTimeout bounds artificial-conflict waits (0 = 5 s).
+	ChunkWaitTimeout time.Duration
+}
+
+// Proxy is the per-replica replication middleware.
+type Proxy struct {
+	cfg Config
+
+	mu        sync.Mutex
+	rvPlanned uint64 // highest global version scheduled for application
+	lastRemote time.Time
+	committing map[uint64]struct{} // store tx ids in their commit phase
+	stats     Stats
+	closed    bool
+
+	seq *sequencer
+
+	// proxyLog: recent remote writesets for local certification, plus
+	// the items of remote writesets currently mid-application (for
+	// eager pre-certification of local writes).
+	logMu         sync.Mutex
+	recent        []remoteRecord
+	inFlightItems map[core.ItemID]int
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+type remoteRecord struct {
+	version uint64
+	items   []core.ItemID
+}
+
+// maxRecent bounds the proxy log used for local certification.
+const maxRecent = 4096
+
+// New creates a proxy and starts its staleness-bounding loop.
+func New(cfg Config) *Proxy {
+	if cfg.SeqTimeout == 0 {
+		cfg.SeqTimeout = 5 * time.Second
+	}
+	if cfg.ChunkWaitTimeout == 0 {
+		cfg.ChunkWaitTimeout = 5 * time.Second
+	}
+	p := &Proxy{
+		cfg:           cfg,
+		seq:           newSequencer(),
+		committing:    make(map[uint64]struct{}),
+		inFlightItems: make(map[core.ItemID]int),
+		lastRemote:    time.Now(),
+		stopCh:        make(chan struct{}),
+	}
+	if cfg.StalenessBound > 0 {
+		p.wg.Add(1)
+		go p.stalenessLoop()
+	}
+	return p
+}
+
+// Close stops background activity. The store is left to its owner.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stopCh)
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ReplicaVersion returns the highest global version scheduled at this
+// replica.
+func (p *Proxy) ReplicaVersion() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rvPlanned
+}
+
+// Tx is a client transaction handle mediated by the proxy.
+type Tx struct {
+	p     *Proxy
+	inner *mvstore.Tx
+	start uint64
+	done  bool
+}
+
+// Begin intercepts BEGIN: the transaction receives the latest local
+// snapshot, labeled with the replica version (sampled *before* the
+// snapshot so the label is conservative, which is safe under GSI —
+// paper §6.2 "Conservative assigning of versions").
+func (p *Proxy) Begin() (*Tx, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrProxyClosed
+	}
+	p.mu.Unlock()
+	start := p.cfg.Store.AnnouncedVersion()
+	inner, err := p.cfg.Store.Begin()
+	if err != nil {
+		return nil, err
+	}
+	tx := &Tx{p: p, inner: inner, start: start}
+	if p.cfg.EagerPreCert {
+		inner.SetWriteHook(p.preCertHook(inner))
+	}
+	return tx, nil
+}
+
+// preCertHook is the eager pre-certification write hook: each local
+// write is checked against the remote writesets currently being
+// applied; a conflict aborts the local write immediately (the remote
+// writeset must win, §8.2).
+func (p *Proxy) preCertHook(inner *mvstore.Tx) mvstore.WriteHook {
+	return func(op core.WriteOp) error {
+		if p.remoteInFlightConflicts(op.Item()) {
+			return fmt.Errorf("%w: eager pre-certification against in-flight remote writeset", ErrCertificationAbort)
+		}
+		return nil
+	}
+}
+
+// Read/write passthroughs.
+
+// Read returns the row visible in the transaction snapshot.
+func (t *Tx) Read(table, key string) (map[string][]byte, bool, error) {
+	return t.inner.Read(table, key)
+}
+
+// ReadCol returns one column.
+func (t *Tx) ReadCol(table, key, col string) ([]byte, bool, error) {
+	return t.inner.ReadCol(table, key, col)
+}
+
+// Insert writes a full row.
+func (t *Tx) Insert(table, key string, cols map[string][]byte) error {
+	return t.inner.Insert(table, key, cols)
+}
+
+// Update modifies columns.
+func (t *Tx) Update(table, key string, cols map[string][]byte) error {
+	return t.inner.Update(table, key, cols)
+}
+
+// Delete removes a row.
+func (t *Tx) Delete(table, key string) error {
+	return t.inner.Delete(table, key)
+}
+
+// Abort rolls back.
+func (t *Tx) Abort() error {
+	t.done = true
+	return t.inner.Abort()
+}
+
+// Commit intercepts COMMIT (paper §6.2 step C): read-only transactions
+// commit immediately; update transactions go through certification and
+// the mode's commit strategy.
+func (t *Tx) Commit() error {
+	if t.done {
+		return mvstore.ErrTxDone
+	}
+	t.done = true
+	p := t.p
+	ws := t.inner.Writeset()
+	if ws.Empty() {
+		if err := t.inner.Commit(); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.stats.ReadOnlyCommits++
+		p.mu.Unlock()
+		return nil
+	}
+
+	// Local certification (§6.2): a conflict with an already-received
+	// remote writeset aborts without bothering the certifier.
+	if p.cfg.LocalCertification && p.localConflict(ws, t.start) {
+		t.inner.Abort()
+		p.mu.Lock()
+		p.stats.LocalCertAborts++
+		p.mu.Unlock()
+		return fmt.Errorf("%w (local certification)", ErrCertificationAbort)
+	}
+
+	req := certifier.Request{
+		Origin:         p.cfg.ReplicaID,
+		StartVersion:   t.start,
+		ReplicaVersion: p.ReplicaVersion(),
+		WSBytes:        ws.Encode(nil),
+		NeedSafeBack:   p.cfg.Mode == TashkentAPI,
+	}
+	p.markCommitting(t.inner.ID(), true)
+	defer p.markCommitting(t.inner.ID(), false)
+
+	switch p.cfg.Mode {
+	case Base, TashkentMW:
+		return p.commitSerial(t, req)
+	case TashkentAPI:
+		return p.commitOrdered(t, req)
+	default:
+		t.inner.Abort()
+		return fmt.Errorf("proxy: invalid mode %d", p.cfg.Mode)
+	}
+}
+
+// markCommitting tracks transactions in their commit phase so eager
+// pre-certification never kills a transaction that already certified.
+func (p *Proxy) markCommitting(id uint64, on bool) {
+	p.mu.Lock()
+	if on {
+		p.committing[id] = struct{}{}
+	} else {
+		delete(p.committing, id)
+	}
+	p.mu.Unlock()
+}
+
+// localConflict checks ws against remote writesets received with
+// versions in (start, now]; finding one proves the certifier would
+// abort.
+func (p *Proxy) localConflict(ws *core.Writeset, start uint64) bool {
+	items := make(map[core.ItemID]struct{}, len(ws.Ops))
+	for i := range ws.Ops {
+		items[ws.Ops[i].Item()] = struct{}{}
+	}
+	p.logMu.Lock()
+	defer p.logMu.Unlock()
+	for i := len(p.recent) - 1; i >= 0; i-- {
+		rec := &p.recent[i]
+		if rec.version <= start {
+			break
+		}
+		for _, it := range rec.items {
+			if _, hit := items[it]; hit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recordRemotes adds applied remote writesets to the proxy log.
+func (p *Proxy) recordRemotes(remotes []appliedRemote) {
+	if len(remotes) == 0 {
+		return
+	}
+	p.logMu.Lock()
+	for _, r := range remotes {
+		p.recent = append(p.recent, remoteRecord{version: r.version, items: r.ws.Items()})
+	}
+	if over := len(p.recent) - maxRecent; over > 0 {
+		p.recent = append([]remoteRecord(nil), p.recent[over:]...)
+	}
+	p.logMu.Unlock()
+	p.mu.Lock()
+	p.lastRemote = time.Now()
+	p.mu.Unlock()
+}
+
+type appliedRemote struct {
+	version  uint64
+	safeBack uint64
+	ws       *core.Writeset
+}
+
+// decodeRemotes parses and filters the response's remote writesets to
+// those above the replica's planned version.
+func (p *Proxy) decodeRemotes(remote []certifier.RemoteWS, above uint64) ([]appliedRemote, error) {
+	out := make([]appliedRemote, 0, len(remote))
+	for _, r := range remote {
+		if r.Version <= above {
+			continue
+		}
+		ws, _, err := core.DecodeWriteset(r.WSBytes)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: corrupt remote writeset v%d: %w", r.Version, err)
+		}
+		out = append(out, appliedRemote{version: r.Version, safeBack: r.SafeBack, ws: ws})
+	}
+	return out, nil
+}
+
+// remoteInFlightConflicts reports whether an item collides with a
+// remote writeset currently being applied (set by the chunk/batch
+// appliers).
+func (p *Proxy) remoteInFlightConflicts(item core.ItemID) bool {
+	p.logMu.Lock()
+	defer p.logMu.Unlock()
+	_, hit := p.inFlightItems[item]
+	return hit
+}
+
+// markInFlight registers (or unregisters) the items of a remote
+// writeset being applied.
+func (p *Proxy) markInFlight(ws *core.Writeset, on bool) {
+	items := ws.Items()
+	p.logMu.Lock()
+	for _, it := range items {
+		if on {
+			p.inFlightItems[it]++
+		} else if n := p.inFlightItems[it]; n <= 1 {
+			delete(p.inFlightItems, it)
+		} else {
+			p.inFlightItems[it] = n - 1
+		}
+	}
+	p.logMu.Unlock()
+}
+
+// killConflictingLocals applies eager pre-certification from the
+// remote side: local transactions holding locks that a remote writeset
+// needs are killed so the remote writeset can proceed (§8.2 — "the
+// proxy aborts the conflicting local update transaction, which allows
+// the remote writeset to be executed"). A victim that turns out to be
+// globally committed is re-applied from its writeset by the commit
+// path's soft-recovery fallback, so killing is always safe.
+func (p *Proxy) killConflictingLocals(ws *core.Writeset, applierTx uint64) {
+	if !p.cfg.EagerPreCert {
+		return
+	}
+	for _, id := range p.cfg.Store.ConflictingActiveTxns(ws, applierTx) {
+		if p.cfg.Store.Kill(id) {
+			p.addStat(func(st *Stats) { st.EagerKills++ })
+		}
+	}
+}
+
+// stalenessLoop implements bounding staleness (§6.2): if the replica
+// has not received remote writesets for the configured bound, pull
+// them proactively.
+func (p *Proxy) stalenessLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.cfg.StalenessBound)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case <-tick.C:
+		}
+		p.mu.Lock()
+		idle := time.Since(p.lastRemote)
+		p.mu.Unlock()
+		if idle < p.cfg.StalenessBound {
+			continue
+		}
+		p.PullOnce()
+	}
+}
+
+// PullOnce fetches and applies any missing remote writesets once.
+func (p *Proxy) PullOnce() error {
+	resp, err := p.cfg.Cert.Pull(certifier.PullRequest{
+		Origin:         p.cfg.ReplicaID,
+		ReplicaVersion: p.ReplicaVersion(),
+		NeedSafeBack:   p.cfg.Mode == TashkentAPI,
+	})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.stats.StalenessPulls++
+	p.mu.Unlock()
+	return p.applyResponse(resp.ReplicaSeq, resp.Remote, false, 0, nil)
+}

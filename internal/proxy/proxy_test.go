@@ -1,0 +1,586 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tashkent/internal/certifier"
+	"tashkent/internal/core"
+	"tashkent/internal/mvstore"
+	"tashkent/internal/simdisk"
+	"tashkent/internal/transport"
+	"tashkent/internal/wal"
+)
+
+// rig is a single-certifier test system with N replicas.
+type rig struct {
+	fabric  *transport.LocalFabric
+	cert    *certifier.Server
+	stores  []*mvstore.Store
+	proxies []*Proxy
+}
+
+func newRig(t *testing.T, n int, mode Mode, mutate func(i int, cfg *Config, scfg *mvstore.Config)) *rig {
+	t.Helper()
+	r := &rig{fabric: transport.NewLocalFabric(0)}
+	r.cert = certifier.New(certifier.Config{
+		ID: 0, Peers: map[int]transport.Client{},
+		ElectionTimeout: 20 * time.Millisecond, Seed: 1,
+	})
+	r.fabric.Serve("cert0", r.cert.Handle)
+	r.cert.Start()
+	t.Cleanup(r.cert.Stop)
+	deadline := time.Now().Add(3 * time.Second)
+	for !r.cert.IsLeader() {
+		if time.Now().After(deadline) {
+			t.Fatal("no certifier leader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < n; i++ {
+		scfg := mvstore.Config{
+			LockTimeout:  500 * time.Millisecond,
+			OrderTimeout: 2 * time.Second,
+		}
+		if mode == TashkentMW {
+			scfg.WALMode = wal.NoSync
+		}
+		pcfg := Config{
+			Mode:               mode,
+			ReplicaID:          i + 1,
+			Cert:               certifier.NewClient([]transport.Client{r.fabric.Dial("cert0")}, 3*time.Second),
+			LocalCertification: true,
+			EagerPreCert:       true,
+			SeqTimeout:         2 * time.Second,
+			ChunkWaitTimeout:   2 * time.Second,
+		}
+		if mutate != nil {
+			mutate(i, &pcfg, &scfg)
+		}
+		store := mvstore.Open(scfg)
+		pcfg.Store = store
+		p := New(pcfg)
+		r.stores = append(r.stores, store)
+		r.proxies = append(r.proxies, p)
+		t.Cleanup(func() { p.Close(); store.Close() })
+	}
+	return r
+}
+
+func commitUpdate(t *testing.T, p *Proxy, table, key, val string) error {
+	t.Helper()
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := tx.Update(table, key, map[string][]byte{"v": []byte(val)}); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func readVal(t *testing.T, p *Proxy, table, key string) (string, bool) {
+	t.Helper()
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	defer tx.Abort()
+	v, ok, err := tx.ReadCol(table, key, "v")
+	if err != nil {
+		t.Fatalf("ReadCol: %v", err)
+	}
+	return string(v), ok
+}
+
+func TestReadOnlyCommitStaysLocal(t *testing.T) {
+	r := newRig(t, 1, Base, nil)
+	p := r.proxies[0]
+	tx, _ := p.Begin()
+	tx.Read("t", "nothing")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().ReadOnlyCommits; got != 1 {
+		t.Errorf("ReadOnlyCommits = %d", got)
+	}
+	if got := r.cert.Stats().Requests; got != 0 {
+		t.Errorf("certifier saw %d requests for a read-only commit", got)
+	}
+}
+
+func testCommitAndPropagate(t *testing.T, mode Mode) {
+	r := newRig(t, 2, mode, nil)
+	if err := commitUpdate(t, r.proxies[0], "t", "x", "hello"); err != nil {
+		t.Fatalf("commit at replica 0: %v", err)
+	}
+	if v, ok := readVal(t, r.proxies[0], "t", "x"); !ok || v != "hello" {
+		t.Errorf("local read = %q %v", v, ok)
+	}
+	// Replica 1 has not seen traffic; a pull brings it up to date.
+	if err := r.proxies[1].PullOnce(); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, r, 1)
+	if v, ok := readVal(t, r.proxies[1], "t", "x"); !ok || v != "hello" {
+		t.Errorf("propagated read = %q %v", v, ok)
+	}
+	if r.stores[0].Fingerprint() != r.stores[1].Fingerprint() {
+		t.Error("replica states diverged")
+	}
+}
+
+// waitConverged waits for every replica's announced version to reach v.
+func waitConverged(t *testing.T, r *rig, v uint64) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, s := range r.stores {
+			if s.AnnouncedVersion() < v {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("replicas failed to converge")
+}
+
+func TestCommitAndPropagateBase(t *testing.T)  { testCommitAndPropagate(t, Base) }
+func TestCommitAndPropagateMW(t *testing.T)    { testCommitAndPropagate(t, TashkentMW) }
+func TestCommitAndPropagateAPI(t *testing.T)   { testCommitAndPropagate(t, TashkentAPI) }
+
+func testConflictAborts(t *testing.T, mode Mode) {
+	r := newRig(t, 2, mode, nil)
+	// Seed the row.
+	if err := commitUpdate(t, r.proxies[0], "t", "x", "0"); err != nil {
+		t.Fatal(err)
+	}
+	r.proxies[1].PullOnce()
+	waitConverged(t, r, 1)
+
+	// Two concurrent snapshots writing the same key on different
+	// replicas: exactly one commits.
+	tx0, _ := r.proxies[0].Begin()
+	tx1, _ := r.proxies[1].Begin()
+	if err := tx0.Update("t", "x", map[string][]byte{"v": []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Update("t", "x", map[string][]byte{"v": []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	err0 := tx0.Commit()
+	err1 := tx1.Commit()
+	okCount := 0
+	for _, err := range []error{err0, err1} {
+		if err == nil {
+			okCount++
+		} else if !errors.Is(err, ErrCertificationAbort) {
+			t.Errorf("unexpected commit error: %v", err)
+		}
+	}
+	if okCount != 1 {
+		t.Fatalf("%d commits succeeded, want exactly 1 (err0=%v err1=%v)", okCount, err0, err1)
+	}
+}
+
+func TestConflictAbortsBase(t *testing.T) { testConflictAborts(t, Base) }
+func TestConflictAbortsAPI(t *testing.T)  { testConflictAborts(t, TashkentAPI) }
+
+func TestLocalCertificationAvoidsRoundTrip(t *testing.T) {
+	r := newRig(t, 2, Base, nil)
+	// Replica 1 starts a transaction against version 0.
+	tx1, _ := r.proxies[1].Begin()
+	if err := tx1.Update("t", "x", map[string][]byte{"v": []byte("stale")}); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 0 commits x; replica 1 pulls, so its proxy log now holds
+	// the remote writeset for x.
+	if err := commitUpdate(t, r.proxies[0], "t", "x", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.proxies[1].PullOnce(); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, r, 1)
+	reqsBefore := r.cert.Stats().Requests
+	err := tx1.Commit()
+	if !errors.Is(err, ErrCertificationAbort) {
+		t.Fatalf("stale commit err = %v, want certification abort", err)
+	}
+	if r.cert.Stats().Requests != reqsBefore {
+		t.Error("local certification still went to the certifier")
+	}
+	if r.proxies[1].Stats().LocalCertAborts != 1 {
+		t.Errorf("LocalCertAborts = %d", r.proxies[1].Stats().LocalCertAborts)
+	}
+}
+
+func TestEagerPreCertKillsConflictingLocal(t *testing.T) {
+	r := newRig(t, 2, Base, nil)
+	if err := commitUpdate(t, r.proxies[0], "t", "x", "0"); err != nil {
+		t.Fatal(err)
+	}
+	r.proxies[1].PullOnce()
+	waitConverged(t, r, 1)
+
+	// A local transaction on replica 1 takes the write lock on x and
+	// sits there (simulating a long transaction).
+	blocker, _ := r.proxies[1].Begin()
+	if err := blocker.Update("t", "x", map[string][]byte{"v": []byte("held")}); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 0 commits x again; replica 1 must apply the remote
+	// writeset, which requires killing the blocker.
+	if err := commitUpdate(t, r.proxies[0], "t", "x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.proxies[1].PullOnce(); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, r, 2)
+	if v, _ := readVal(t, r.proxies[1], "t", "x"); v != "1" {
+		t.Errorf("replica 1 x = %q, want 1", v)
+	}
+	if r.proxies[1].Stats().EagerKills == 0 {
+		t.Error("no eager kills recorded")
+	}
+	// The blocker is dead.
+	if err := blocker.Commit(); err == nil {
+		t.Error("killed blocker committed successfully")
+	}
+}
+
+func TestMWNoReplicaFsyncs(t *testing.T) {
+	var logDisks []*simdisk.Disk
+	r := newRig(t, 1, TashkentMW, func(i int, _ *Config, scfg *mvstore.Config) {
+		d := simdisk.New(simdisk.Profile{FsyncLatency: 5 * time.Millisecond}, 9)
+		scfg.LogDisk = d
+		logDisks = append(logDisks, d)
+	})
+	for i := 0; i < 5; i++ {
+		if err := commitUpdate(t, r.proxies[0], "t", fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := logDisks[0].Stats().Fsyncs; f != 0 {
+		t.Errorf("Tashkent-MW replica issued %d fsyncs, want 0", f)
+	}
+}
+
+func TestBasePaysSerialFsyncs(t *testing.T) {
+	var logDisks []*simdisk.Disk
+	r := newRig(t, 2, Base, func(i int, _ *Config, scfg *mvstore.Config) {
+		d := simdisk.New(simdisk.Instant(), int64(i))
+		scfg.LogDisk = d
+		logDisks = append(logDisks, d)
+	})
+	// Prime replica 1 so it receives remote writesets with each commit.
+	commitUpdate(t, r.proxies[0], "t", "seed", "0")
+	r.proxies[1].PullOnce()
+	waitConverged(t, r, 1)
+	base := logDisks[1].Stats().Fsyncs
+	const n = 4
+	for i := 0; i < n; i++ {
+		// Interleave: replica 0 commits (creating a remote writeset
+		// for replica 1), then replica 1 commits (paying one fsync for
+		// the remote batch + one for its own commit).
+		if err := commitUpdate(t, r.proxies[0], "t", fmt.Sprintf("a%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+		if err := commitUpdate(t, r.proxies[1], "t", fmt.Sprintf("b%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := logDisks[1].Stats().Fsyncs - base
+	if got < 2*n {
+		t.Errorf("replica 1 paid %d fsyncs for %d commits, want >= %d (2 per local commit)", got, n, 2*n)
+	}
+}
+
+func TestAPIGroupsCommitRecords(t *testing.T) {
+	var logDisks []*simdisk.Disk
+	r := newRig(t, 1, TashkentAPI, func(i int, _ *Config, scfg *mvstore.Config) {
+		d := simdisk.New(simdisk.Profile{FsyncLatency: 4 * time.Millisecond}, 5)
+		scfg.LogDisk = d
+		logDisks = append(logDisks, d)
+	})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = commitUpdate(t, r.proxies[0], "t", fmt.Sprintf("k%d", i), "v")
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	s := logDisks[0].Stats()
+	if s.RecordsSynced < n {
+		t.Errorf("RecordsSynced = %d, want >= %d", s.RecordsSynced, n)
+	}
+	if s.Fsyncs >= n {
+		t.Errorf("%d fsyncs for %d concurrent ordered commits, want grouping", s.Fsyncs, n)
+	}
+}
+
+func TestAPIArtificialConflictSerializes(t *testing.T) {
+	r := newRig(t, 3, TashkentAPI, nil)
+	// Replica 0 commits x twice in a row (second depends on first);
+	// replica 2 receives both writesets in one response — an
+	// artificial conflict forcing chunk serialization.
+	if err := commitUpdate(t, r.proxies[0], "t", "x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := commitUpdate(t, r.proxies[0], "t", "x", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.proxies[1].PullOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.proxies[2].PullOnce(); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, r, 2)
+	if v, _ := readVal(t, r.proxies[2], "t", "x"); v != "2" {
+		t.Errorf("replica 2 x = %q, want 2 (serialized in order)", v)
+	}
+	if r.stores[2].Fingerprint() != r.stores[0].Fingerprint() {
+		t.Error("divergence after artificial conflict")
+	}
+}
+
+func TestConcurrentLoadConverges(t *testing.T) {
+	modes := []Mode{Base, TashkentMW, TashkentAPI}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			r := newRig(t, 3, mode, nil)
+			var wg sync.WaitGroup
+			var commits, aborts int64
+			var mu sync.Mutex
+			for rep := 0; rep < 3; rep++ {
+				for c := 0; c < 4; c++ {
+					rep, c := rep, c
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := 0; i < 15; i++ {
+							// Mostly disjoint keys with occasional contention.
+							key := fmt.Sprintf("r%dc%d-%d", rep, c, i)
+							if i%5 == 0 {
+								key = "hot"
+							}
+							err := commitUpdate(t, r.proxies[rep], "t", key, fmt.Sprintf("%d", i))
+							mu.Lock()
+							switch {
+							case err == nil:
+								commits++
+							case errors.Is(err, ErrCertificationAbort),
+								errors.Is(err, mvstore.ErrWriteConflict),
+								errors.Is(err, mvstore.ErrTxKilled),
+								errors.Is(err, mvstore.ErrDeadlock),
+								errors.Is(err, mvstore.ErrLockTimeout):
+								aborts++ // SI aborts: retryable by the client
+							default:
+								t.Errorf("commit error: %v", err)
+							}
+							mu.Unlock()
+						}
+					}()
+				}
+			}
+			wg.Wait()
+			if commits == 0 {
+				t.Fatal("no commits succeeded")
+			}
+			// Bring all replicas fully up to date and compare state.
+			final := uint64(commits)
+			for _, p := range r.proxies {
+				if err := p.PullOnce(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			waitConverged(t, r, final)
+			// Quiesce in-flight chunk goroutines.
+			time.Sleep(50 * time.Millisecond)
+			fp := r.stores[0].Fingerprint()
+			for i, s := range r.stores[1:] {
+				if s.Fingerprint() != fp {
+					t.Errorf("replica %d diverged under %v load", i+1, mode)
+				}
+			}
+			t.Logf("%v: commits=%d aborts=%d", mode, commits, aborts)
+		})
+	}
+}
+
+func TestStalenessBoundPullsAutomatically(t *testing.T) {
+	r := newRig(t, 2, TashkentMW, func(i int, cfg *Config, _ *mvstore.Config) {
+		if i == 1 {
+			cfg.StalenessBound = 20 * time.Millisecond
+		}
+	})
+	if err := commitUpdate(t, r.proxies[0], "t", "x", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 1 receives the update without any local traffic.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := readVal(t, r.proxies[1], "t", "x"); ok && v == "fresh" {
+			if r.proxies[1].Stats().StalenessPulls == 0 {
+				t.Error("no staleness pulls recorded")
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("staleness bound never propagated the update")
+}
+
+func TestSoftRecoveryOnCommitRejection(t *testing.T) {
+	r := newRig(t, 1, Base, nil)
+	r.stores[0].FailNextCommit(1)
+	if err := commitUpdate(t, r.proxies[0], "t", "x", "v1"); err != nil {
+		t.Fatalf("commit with injected rejection should soft-recover: %v", err)
+	}
+	if v, ok := readVal(t, r.proxies[0], "t", "x"); !ok || v != "v1" {
+		t.Errorf("after soft recovery x = %q %v", v, ok)
+	}
+	if r.proxies[0].Stats().SoftRecoveries == 0 {
+		t.Error("soft recovery not recorded")
+	}
+}
+
+func TestResyncAfterGap(t *testing.T) {
+	r := newRig(t, 2, Base, nil)
+	for i := 0; i < 3; i++ {
+		if err := commitUpdate(t, r.proxies[0], "t", fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Resync replica 1 from scratch.
+	if err := r.proxies[1].Resync(); err != nil {
+		t.Fatal(err)
+	}
+	if r.stores[1].Fingerprint() != r.stores[0].Fingerprint() {
+		t.Error("resync did not converge state")
+	}
+	if r.proxies[1].ReplicaVersion() != 3 {
+		t.Errorf("replica version after resync = %d", r.proxies[1].ReplicaVersion())
+	}
+}
+
+func TestBuildChunks(t *testing.T) {
+	mk := func(v, safe uint64) appliedRemote {
+		return appliedRemote{version: v, safeBack: safe,
+			ws: &core.Writeset{Ops: []core.WriteOp{{Kind: core.OpUpdate, Table: "t", Key: fmt.Sprintf("k%d", v)}}}}
+	}
+	// Dense, no conflicts: one chunk.
+	chunks := buildChunks(4, 4, []appliedRemote{mk(5, 0), mk(6, 2), mk(7, 4)})
+	if len(chunks) != 1 || chunks[0].from != 4 || chunks[0].to != 7 || chunks[0].waitFor != 0 {
+		t.Errorf("dense chunks = %+v", chunks)
+	}
+	// Gap at 7 splits.
+	chunks = buildChunks(4, 4, []appliedRemote{mk(5, 0), mk(6, 0), mk(8, 0)})
+	if len(chunks) != 2 || chunks[1].from != 7 || chunks[1].to != 8 {
+		t.Errorf("gap chunks = %+v", chunks)
+	}
+	// Conflict at v7 (safeBack 6 > announced 4) splits with a wait.
+	chunks = buildChunks(4, 4, []appliedRemote{mk(5, 0), mk(6, 0), mk(7, 6)})
+	if len(chunks) != 2 || chunks[1].waitFor != 6 || !chunks[1].split {
+		t.Errorf("conflict chunks = %+v", chunks)
+	}
+	// Conflict below announced needs no wait.
+	chunks = buildChunks(6, 6, []appliedRemote{mk(7, 5), mk(8, 5)})
+	if len(chunks) != 1 || chunks[0].waitFor != 0 {
+		t.Errorf("resolved-conflict chunks = %+v", chunks)
+	}
+	if got := buildChunks(0, 0, nil); got != nil {
+		t.Errorf("empty chunks = %v", got)
+	}
+}
+
+func TestSequencerAnchorsToFirstResponse(t *testing.T) {
+	s := newSequencer()
+	// A fresh (or recovered) proxy anchors to whatever sequence number
+	// it sees first — the certifier's numbering survives restarts.
+	if err := s.enter(41, time.Second); err != nil {
+		t.Fatalf("anchor enter: %v", err)
+	}
+	s.exit(41)
+	if err := s.enter(42, time.Second); err != nil {
+		t.Fatalf("post-anchor enter: %v", err)
+	}
+	s.exit(42)
+}
+
+func TestSequencerOrdersEntries(t *testing.T) {
+	s := newSequencer()
+	if err := s.enter(1, time.Second); err != nil { // anchor at 1
+		t.Fatal(err)
+	}
+	s.exit(1)
+	var mu sync.Mutex
+	var order []uint64
+	var wg sync.WaitGroup
+	for _, seq := range []uint64{4, 2, 3} {
+		seq := seq
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.enter(seq, time.Second); err != nil {
+				t.Errorf("enter(%d): %v", seq, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, seq)
+			mu.Unlock()
+			s.exit(seq)
+		}()
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 4 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSequencerTimeoutAndStale(t *testing.T) {
+	s := newSequencer()
+	if err := s.enter(1, time.Second); err != nil { // anchor
+		t.Fatal(err)
+	}
+	s.exit(1)
+	if err := s.enter(5, 30*time.Millisecond); !errors.Is(err, errSeqTimeout) {
+		t.Errorf("gap enter err = %v", err)
+	}
+	s.skipTo(6)
+	if err := s.enter(5, 30*time.Millisecond); !errors.Is(err, errStaleSeq) {
+		t.Errorf("stale enter err = %v", err)
+	}
+	if err := s.enter(6, time.Second); err != nil {
+		t.Errorf("enter(6): %v", err)
+	}
+	s.exit(6)
+}
+
+func TestModeString(t *testing.T) {
+	if Base.String() != "base" || TashkentMW.String() != "tashMW" || TashkentAPI.String() != "tashAPI" {
+		t.Error("Mode.String mismatch")
+	}
+}

@@ -1,0 +1,162 @@
+package simdisk
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFsyncAccounting(t *testing.T) {
+	d := New(Instant(), 1)
+	d.Fsync(3, 300)
+	d.Fsync(5, 500)
+	s := d.Stats()
+	if s.Fsyncs != 2 {
+		t.Errorf("Fsyncs = %d, want 2", s.Fsyncs)
+	}
+	if s.RecordsSynced != 8 {
+		t.Errorf("RecordsSynced = %d, want 8", s.RecordsSynced)
+	}
+	if s.BytesSynced != 800 {
+		t.Errorf("BytesSynced = %d, want 800", s.BytesSynced)
+	}
+	if s.MaxGroup != 5 {
+		t.Errorf("MaxGroup = %d, want 5", s.MaxGroup)
+	}
+	if got := s.GroupRatio(); got != 4 {
+		t.Errorf("GroupRatio = %v, want 4", got)
+	}
+}
+
+func TestGroupRatioZeroFsyncs(t *testing.T) {
+	if (Stats{}).GroupRatio() != 0 {
+		t.Error("GroupRatio with no fsyncs should be 0")
+	}
+}
+
+func TestFsyncLatencyWithinJitterBounds(t *testing.T) {
+	prof := Profile{FsyncLatency: 4 * time.Millisecond, FsyncJitter: 1 * time.Millisecond}
+	d := New(prof, 42)
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		d.Fsync(1, 64)
+		got := time.Since(start)
+		if got < 3*time.Millisecond {
+			t.Fatalf("fsync %d took %v, below jitter floor 3ms", i, got)
+		}
+		if got > 20*time.Millisecond { // generous ceiling for scheduler noise
+			t.Fatalf("fsync %d took %v, far above jitter ceiling", i, got)
+		}
+	}
+}
+
+func TestBandwidthComponent(t *testing.T) {
+	// 1 MiB at 16 MiB/s = 62.5 ms; latency terms zero.
+	prof := Profile{WriteBandwidth: 16 << 20}
+	d := New(prof, 1)
+	start := time.Now()
+	d.Fsync(1, 1<<20)
+	if got := time.Since(start); got < 50*time.Millisecond {
+		t.Errorf("1 MiB fsync took %v, want >= ~62ms of bandwidth time", got)
+	}
+}
+
+func TestPageOpsSharedVsDedicated(t *testing.T) {
+	shared := New(Profile{PageLatency: 2 * time.Millisecond}, 1)
+	start := time.Now()
+	shared.PageOps(5)
+	if got := time.Since(start); got < 10*time.Millisecond {
+		t.Errorf("5 shared page ops took %v, want >= 10ms", got)
+	}
+	dedicated := New(Profile{PageLatency: 0}, 1)
+	start = time.Now()
+	dedicated.PageOps(1000)
+	if got := time.Since(start); got > 50*time.Millisecond {
+		t.Errorf("ramdisk page ops took %v, want ~instant", got)
+	}
+	if dedicated.Stats().PageOps != 1000 {
+		t.Error("dedicated channel must still count page ops")
+	}
+	shared.PageOps(0)
+	shared.PageOps(-3)
+	if shared.Stats().PageOps != 5 {
+		t.Error("non-positive PageOps must be ignored")
+	}
+}
+
+func TestChannelSerializesConcurrentFsyncs(t *testing.T) {
+	prof := Profile{FsyncLatency: 5 * time.Millisecond}
+	d := New(prof, 1)
+	const n = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Fsync(1, 10)
+		}()
+	}
+	wg.Wait()
+	if got := time.Since(start); got < n*5*time.Millisecond {
+		t.Errorf("%d serialized fsyncs took %v, want >= %v", n, got, n*5*time.Millisecond)
+	}
+}
+
+func TestScaledPreservesRatios(t *testing.T) {
+	p := Paper()
+	s := p.Scaled(10)
+	if s.FsyncLatency != p.FsyncLatency/10 || s.PageLatency != p.PageLatency/10 {
+		t.Error("Scaled did not divide latencies")
+	}
+	if s.WriteBandwidth != p.WriteBandwidth*10 {
+		t.Error("Scaled did not multiply bandwidth")
+	}
+	// Ratio fsync:page preserved.
+	if p.FsyncLatency/p.PageLatency != s.FsyncLatency/s.PageLatency {
+		t.Error("Scaled changed the fsync:page ratio")
+	}
+}
+
+func TestScaledPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Scaled(0) should panic")
+		}
+	}()
+	Paper().Scaled(0)
+}
+
+func TestNegativeFsyncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative fsync accounting should panic")
+		}
+	}()
+	New(Instant(), 1).Fsync(-1, 0)
+}
+
+func TestUtilizationAndReset(t *testing.T) {
+	d := New(Profile{FsyncLatency: 10 * time.Millisecond}, 1)
+	d.Fsync(1, 10)
+	if u := d.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization %v out of (0,1]", u)
+	}
+	d.ResetStats()
+	if s := d.Stats(); s.Fsyncs != 0 || s.Busy != 0 {
+		t.Error("ResetStats did not clear stats")
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	prof := Profile{FsyncLatency: time.Millisecond, FsyncJitter: time.Millisecond}
+	a, b := New(prof, 7), New(prof, 7)
+	// Same seed must produce identical busy-time accumulation.
+	for i := 0; i < 5; i++ {
+		a.Fsync(1, 1)
+		b.Fsync(1, 1)
+	}
+	if a.Stats().Busy != b.Stats().Busy {
+		t.Error("same seed should give identical jitter sequence")
+	}
+}

@@ -1,0 +1,400 @@
+// Package transport provides the message transport connecting replica
+// proxies to the certifier group: a minimal request/response RPC with
+// two interchangeable fabrics — an in-process fabric for single-binary
+// experiments (the benchmark harness runs 15 replicas plus 3
+// certifiers in one process) and a TCP fabric for running components
+// as separate daemons (cmd/tashd, cmd/certd).
+//
+// The fabric can inject a per-message latency to model the paper's
+// switched 1 Gbps LAN.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes one request addressed to a method and returns the
+// response payload. Handlers must be safe for concurrent use.
+type Handler func(method string, req []byte) ([]byte, error)
+
+// Client issues requests to one server.
+type Client interface {
+	// Call sends req to the named method and returns the response.
+	Call(method string, req []byte) ([]byte, error)
+	// Close releases the client's connections.
+	Close() error
+}
+
+// Server accepts requests until closed.
+type Server interface {
+	// Addr returns the listen address (the registered name for the
+	// in-process fabric).
+	Addr() string
+	// Close stops the server.
+	Close() error
+}
+
+// ErrUnavailable reports that the remote endpoint cannot be reached or
+// has shut down. Callers treat it as a node failure.
+var ErrUnavailable = errors.New("transport: endpoint unavailable")
+
+// RemoteError carries an application-level error string returned by a
+// handler across the wire.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// --- In-process fabric ---
+
+// LocalFabric is an in-process name-to-handler switchboard with
+// optional injected latency per message direction.
+type LocalFabric struct {
+	mu      sync.RWMutex
+	servers map[string]*localServer
+	// Delay is applied once per request and once per response,
+	// modelling one-way LAN latency.
+	Delay time.Duration
+}
+
+// NewLocalFabric returns an empty fabric.
+func NewLocalFabric(delay time.Duration) *LocalFabric {
+	return &LocalFabric{servers: make(map[string]*localServer), Delay: delay}
+}
+
+type localServer struct {
+	fabric *LocalFabric
+	name   string
+	h      Handler
+	mu     sync.Mutex
+	closed bool
+}
+
+func (s *localServer) Addr() string { return s.name }
+
+func (s *localServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.fabric.mu.Lock()
+	if s.fabric.servers[s.name] == s {
+		delete(s.fabric.servers, s.name)
+	}
+	s.fabric.mu.Unlock()
+	return nil
+}
+
+// Serve registers a handler under name. Registering a name twice
+// replaces the previous registration (a restarted node).
+func (f *LocalFabric) Serve(name string, h Handler) Server {
+	s := &localServer{fabric: f, name: name, h: h}
+	f.mu.Lock()
+	f.servers[name] = s
+	f.mu.Unlock()
+	return s
+}
+
+type localClient struct {
+	fabric *LocalFabric
+	name   string
+}
+
+// Dial returns a client for the named endpoint. Resolution happens per
+// call, so a client survives server restarts.
+func (f *LocalFabric) Dial(name string) Client {
+	return &localClient{fabric: f, name: name}
+}
+
+func (c *localClient) Call(method string, req []byte) ([]byte, error) {
+	c.fabric.mu.RLock()
+	s := c.fabric.servers[c.name]
+	delay := c.fabric.Delay
+	c.fabric.mu.RUnlock()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, c.name)
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, c.name)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	resp, err := s.h(method, req)
+	if err != nil {
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return resp, nil
+}
+
+func (c *localClient) Close() error { return nil }
+
+// --- TCP fabric ---
+//
+// Wire format, both directions length-prefixed:
+//
+//	request:  uint32 frameLen | uint16 methodLen | method | payload
+//	response: uint32 frameLen | uint8 status (0 ok, 1 err) | payload/error
+//
+// Each connection carries one request at a time; the client keeps a
+// small pool so concurrent callers get concurrent connections.
+
+const maxFrame = 64 << 20
+
+type tcpServer struct {
+	ln     net.Listener
+	h      Handler
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	delay  time.Duration
+}
+
+// ServeTCP starts a TCP server on addr (e.g. ":7001"); delay models
+// one-way LAN latency per message.
+func ServeTCP(addr string, h Handler, delay time.Duration) (Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &tcpServer{ln: ln, h: h, delay: delay, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *tcpServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *tcpServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	// Unblock connection goroutines parked in readRequest: clients
+	// keep idle pooled connections open indefinitely.
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *tcpServer) serveConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		method, payload, err := readRequest(r)
+		if err != nil {
+			return
+		}
+		if s.delay > 0 {
+			time.Sleep(s.delay)
+		}
+		resp, herr := s.h(method, payload)
+		if s.delay > 0 {
+			time.Sleep(s.delay)
+		}
+		if err := writeResponse(w, resp, herr); err != nil {
+			return
+		}
+	}
+}
+
+func readRequest(r *bufio.Reader) (string, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, err
+	}
+	frameLen := binary.BigEndian.Uint32(lenBuf[:])
+	if frameLen < 2 || frameLen > maxFrame {
+		return "", nil, fmt.Errorf("transport: bad frame length %d", frameLen)
+	}
+	frame := make([]byte, frameLen)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return "", nil, err
+	}
+	mlen := int(binary.BigEndian.Uint16(frame[:2]))
+	if 2+mlen > len(frame) {
+		return "", nil, errors.New("transport: bad method length")
+	}
+	return string(frame[2 : 2+mlen]), frame[2+mlen:], nil
+}
+
+func writeResponse(w *bufio.Writer, resp []byte, herr error) error {
+	var status byte
+	payload := resp
+	if herr != nil {
+		status = 1
+		payload = []byte(herr.Error())
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(1+len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+type tcpClient struct {
+	addr string
+	mu   sync.Mutex
+	idle []*tcpConn
+	closed bool
+}
+
+type tcpConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// DialTCP returns a pooled client for the server at addr.
+func DialTCP(addr string) Client {
+	return &tcpClient{addr: addr}
+}
+
+func (c *tcpClient) get() (*tcpConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrUnavailable
+	}
+	if n := len(c.idle); n > 0 {
+		tc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return tc, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return &tcpConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+func (c *tcpClient) put(tc *tcpConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= 32 {
+		tc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, tc)
+}
+
+func (c *tcpClient) Call(method string, req []byte) ([]byte, error) {
+	tc, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := tc.roundTrip(method, req)
+	if err != nil {
+		tc.conn.Close()
+		var rerr *RemoteError
+		if errors.As(err, &rerr) {
+			// Remote errors are application-level; the conn is fine,
+			// but simpler to drop it than to track half-states.
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	c.put(tc)
+	return resp, nil
+}
+
+func (tc *tcpConn) roundTrip(method string, req []byte) ([]byte, error) {
+	frameLen := 2 + len(method) + len(req)
+	if frameLen > maxFrame {
+		return nil, errors.New("transport: request too large")
+	}
+	var hdr [6]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(frameLen))
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(method)))
+	if _, err := tc.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := tc.w.WriteString(method); err != nil {
+		return nil, err
+	}
+	if _, err := tc.w.Write(req); err != nil {
+		return nil, err
+	}
+	if err := tc.w.Flush(); err != nil {
+		return nil, err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(tc.r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	respLen := binary.BigEndian.Uint32(lenBuf[:])
+	if respLen < 1 || respLen > maxFrame {
+		return nil, fmt.Errorf("transport: bad response length %d", respLen)
+	}
+	frame := make([]byte, respLen)
+	if _, err := io.ReadFull(tc.r, frame); err != nil {
+		return nil, err
+	}
+	if frame[0] == 1 {
+		return nil, &RemoteError{Msg: string(frame[1:])}
+	}
+	return frame[1:], nil
+}
+
+func (c *tcpClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, tc := range c.idle {
+		tc.conn.Close()
+	}
+	c.idle = nil
+	return nil
+}

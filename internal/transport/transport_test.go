@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandler(method string, req []byte) ([]byte, error) {
+	if method == "fail" {
+		return nil, fmt.Errorf("boom: %s", req)
+	}
+	return append([]byte(method+":"), req...), nil
+}
+
+func TestLocalFabricRoundTrip(t *testing.T) {
+	f := NewLocalFabric(0)
+	srv := f.Serve("node1", echoHandler)
+	defer srv.Close()
+	c := f.Dial("node1")
+	defer c.Close()
+	resp, err := c.Call("ping", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "ping:hello" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestLocalFabricRemoteError(t *testing.T) {
+	f := NewLocalFabric(0)
+	defer f.Serve("n", echoHandler).Close()
+	c := f.Dial("n")
+	_, err := c.Call("fail", []byte("x"))
+	var rerr *RemoteError
+	if !errors.As(err, &rerr) || !strings.Contains(rerr.Msg, "boom: x") {
+		t.Errorf("err = %v, want RemoteError with boom", err)
+	}
+}
+
+func TestLocalFabricUnavailable(t *testing.T) {
+	f := NewLocalFabric(0)
+	c := f.Dial("ghost")
+	if _, err := c.Call("m", nil); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+	srv := f.Serve("ghost", echoHandler)
+	if _, err := c.Call("m", nil); err != nil {
+		t.Errorf("call after late registration: %v", err)
+	}
+	srv.Close()
+	if _, err := c.Call("m", nil); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("call after close: %v, want ErrUnavailable", err)
+	}
+}
+
+func TestLocalFabricRestartReplacesHandler(t *testing.T) {
+	f := NewLocalFabric(0)
+	f.Serve("n", func(string, []byte) ([]byte, error) { return []byte("v1"), nil })
+	c := f.Dial("n")
+	f.Serve("n", func(string, []byte) ([]byte, error) { return []byte("v2"), nil })
+	resp, err := c.Call("m", nil)
+	if err != nil || string(resp) != "v2" {
+		t.Errorf("resp = %q, %v; want v2 (client follows restart)", resp, err)
+	}
+}
+
+func TestLocalFabricDelay(t *testing.T) {
+	f := NewLocalFabric(5 * time.Millisecond)
+	defer f.Serve("n", echoHandler).Close()
+	c := f.Dial("n")
+	start := time.Now()
+	if _, err := c.Call("m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 10*time.Millisecond {
+		t.Errorf("round trip %v, want >= 10ms (two one-way delays)", got)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := DialTCP(srv.Addr())
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, i*100)
+		resp, err := c.Call("m", payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resp, append([]byte("m:"), payload...)) {
+			t.Fatalf("call %d response mismatch", i)
+		}
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := DialTCP(srv.Addr())
+	defer c.Close()
+	_, err = c.Call("fail", []byte("y"))
+	var rerr *RemoteError
+	if !errors.As(err, &rerr) || !strings.Contains(rerr.Msg, "boom: y") {
+		t.Errorf("err = %v", err)
+	}
+	// Connection remains usable semantics: a fresh call succeeds.
+	if _, err := c.Call("ok", nil); err != nil {
+		t.Errorf("call after remote error: %v", err)
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", func(m string, req []byte) ([]byte, error) {
+		time.Sleep(2 * time.Millisecond)
+		return req, nil
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := DialTCP(srv.Addr())
+	defer c.Close()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.Call("m", []byte{byte(i)})
+			if err != nil || len(resp) != 1 || resp[0] != byte(i) {
+				t.Errorf("call %d: %v %v", i, resp, err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Pooled connections should give real concurrency: 16 calls of 2ms
+	// must take far less than 32ms.
+	if got := time.Since(start); got > 25*time.Millisecond {
+		t.Errorf("16 concurrent calls took %v; pool not concurrent", got)
+	}
+}
+
+func TestTCPServerClose(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c := DialTCP(addr)
+	if _, err := c.Call("m", nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	c2 := DialTCP(addr)
+	if _, err := c2.Call("m", nil); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("call to closed server: %v, want ErrUnavailable", err)
+	}
+	c.Close()
+	c2.Close()
+}
+
+func TestTCPClientCloseRejectsCalls(t *testing.T) {
+	srv, _ := ServeTCP("127.0.0.1:0", echoHandler, 0)
+	defer srv.Close()
+	c := DialTCP(srv.Addr())
+	c.Close()
+	if _, err := c.Call("m", nil); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("call on closed client: %v", err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	srv, _ := ServeTCP("127.0.0.1:0", echoHandler, 0)
+	defer srv.Close()
+	c := DialTCP(srv.Addr())
+	defer c.Close()
+	big := bytes.Repeat([]byte("x"), 1<<20)
+	resp, err := c.Call("m", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != len(big)+2 {
+		t.Errorf("response length %d", len(resp))
+	}
+}

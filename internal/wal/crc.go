@@ -1,0 +1,8 @@
+package wal
+
+import "hash/crc32"
+
+// crc32IEEE computes the IEEE CRC-32 of p. Isolated here so the frame
+// checksum algorithm has a single definition shared by writer and
+// scanner.
+func crc32IEEE(p []byte) uint32 { return crc32.ChecksumIEEE(p) }

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tashkent/internal/mvstore"
+)
+
+func standaloneBegin(s *mvstore.Store) BeginFunc {
+	return func() (Tx, error) { return s.Begin() }
+}
+
+func TestAllUpdatesWritesetSize(t *testing.T) {
+	size, err := WritesetSize(&AllUpdates{}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: average 54 bytes.
+	if size < 50 || size > 58 {
+		t.Errorf("AllUpdates writeset = %.1f bytes, want ~54", size)
+	}
+}
+
+func TestTPCBWritesetSize(t *testing.T) {
+	size, err := WritesetSize(&TPCB{Branches: 2, AccountsPerBranch: 50}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: average 158 bytes.
+	if size < 140 || size > 175 {
+		t.Errorf("TPC-B writeset = %.1f bytes, want ~158", size)
+	}
+}
+
+func TestTPCWWritesetSize(t *testing.T) {
+	size, err := WritesetSize(&TPCW{Items: 100, UpdateFraction: 1.0, CPUWork: 1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: average 275 bytes.
+	if size < 250 || size > 300 {
+		t.Errorf("TPC-W writeset = %.1f bytes, want ~275", size)
+	}
+}
+
+func TestAllUpdatesNoConflictsAcrossClients(t *testing.T) {
+	g := &AllUpdates{}
+	r := rand.New(rand.NewSource(1))
+	s := mvstore.Open(mvstore.Config{})
+	defer s.Close()
+	seen := map[string]struct{}{}
+	// Different (replica, client) pairs touch disjoint key ranges.
+	for rep := 0; rep < 3; rep++ {
+		for cl := 0; cl < 3; cl++ {
+			run, ro := g.Next(r, rep, cl)
+			if ro {
+				t.Fatal("AllUpdates produced a read-only txn")
+			}
+			tx, _ := s.Begin()
+			if err := run(tx); err != nil {
+				t.Fatal(err)
+			}
+			for _, op := range tx.Writeset().Ops {
+				prefix := op.Key[:6] // rXXcYY
+				if want := fmt.Sprintf("r%02dc%02d", rep, cl); prefix != want {
+					t.Errorf("key %q not in client range %q", op.Key, want)
+				}
+				seen[prefix] = struct{}{}
+			}
+			tx.Abort()
+		}
+	}
+	if len(seen) != 9 {
+		t.Errorf("saw %d distinct client ranges, want 9", len(seen))
+	}
+}
+
+func TestTPCBPopulateAndConflicts(t *testing.T) {
+	s := mvstore.Open(mvstore.Config{})
+	defer s.Close()
+	g := &TPCB{Branches: 2, TellersPerBranch: 2, AccountsPerBranch: 20}
+	if err := g.Populate(standaloneBegin(s)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RowCount("branches"); got != 2 {
+		t.Errorf("branches = %d", got)
+	}
+	if got := s.RowCount("tellers"); got != 4 {
+		t.Errorf("tellers = %d", got)
+	}
+	if got := s.RowCount("accounts"); got != 40 {
+		t.Errorf("accounts = %d", got)
+	}
+	// With 2 branches, two random transactions conflict on the branch
+	// row often; verify the generator actually touches branches.
+	r := rand.New(rand.NewSource(2))
+	run, _ := g.Next(r, 0, 0)
+	tx, _ := s.Begin()
+	if err := run(tx); err != nil {
+		t.Fatal(err)
+	}
+	touchedBranch := false
+	for _, op := range tx.Writeset().Ops {
+		if op.Table == "branches" {
+			touchedBranch = true
+		}
+	}
+	tx.Abort()
+	if !touchedBranch {
+		t.Error("TPC-B transaction did not update a branch row")
+	}
+}
+
+func TestTPCWMixFractions(t *testing.T) {
+	g := &TPCW{Items: 50, CPUWork: 1}
+	r := rand.New(rand.NewSource(3))
+	reads := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		_, ro := g.Next(r, 0, 0)
+		if ro {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.75 || frac > 0.85 {
+		t.Errorf("read-only fraction = %.2f, want ~0.80 (shopping mix)", frac)
+	}
+}
+
+func TestRunClosedLoopStandalone(t *testing.T) {
+	s := mvstore.Open(mvstore.Config{})
+	defer s.Close()
+	g := &AllUpdates{}
+	res := Run(g, []BeginFunc{standaloneBegin(s)}, RunConfig{
+		ClientsPerReplica: 4,
+		Warmup:            20 * time.Millisecond,
+		Measure:           150 * time.Millisecond,
+		Seed:              1,
+	})
+	if res.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %v", res.Throughput)
+	}
+	if res.RT.Count != res.Committed {
+		t.Errorf("RT samples %d != commits %d", res.RT.Count, res.Committed)
+	}
+	if res.AbortRate() != 0 {
+		t.Errorf("AllUpdates abort rate = %v, want 0 (disjoint keys)", res.AbortRate())
+	}
+}
+
+func TestRunMeasuresOnlyWindow(t *testing.T) {
+	s := mvstore.Open(mvstore.Config{})
+	defer s.Close()
+	res := Run(&AllUpdates{}, []BeginFunc{standaloneBegin(s)}, RunConfig{
+		ClientsPerReplica: 1,
+		Warmup:            50 * time.Millisecond,
+		Measure:           100 * time.Millisecond,
+	})
+	if res.Duration < 90*time.Millisecond || res.Duration > 500*time.Millisecond {
+		t.Errorf("measured window = %v", res.Duration)
+	}
+}
+
+func TestTPCWRunSplitsReadAndUpdateRT(t *testing.T) {
+	s := mvstore.Open(mvstore.Config{})
+	g := &TPCW{Items: 100, CPUWork: 10}
+	if err := g.Populate(standaloneBegin(s)); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := Run(g, []BeginFunc{standaloneBegin(s)}, RunConfig{
+		ClientsPerReplica: 4,
+		Warmup:            10 * time.Millisecond,
+		Measure:           200 * time.Millisecond,
+		Seed:              2,
+	})
+	if res.ReadRT.Count == 0 || res.UpdateRT.Count == 0 {
+		t.Fatalf("RT split: reads=%d updates=%d", res.ReadRT.Count, res.UpdateRT.Count)
+	}
+	if res.ReadRT.Count < res.UpdateRT.Count {
+		t.Error("shopping mix should be read-dominated")
+	}
+}
+
+func TestAbortRateMath(t *testing.T) {
+	r := Result{Committed: 80, Aborted: 20}
+	if got := r.AbortRate(); got != 0.2 {
+		t.Errorf("AbortRate = %v", got)
+	}
+	if (Result{}).AbortRate() != 0 {
+		t.Error("empty result abort rate should be 0")
+	}
+}
+
+func TestSpinIsDeterministicWork(t *testing.T) {
+	a, b := spin(100), spin(100)
+	if a != b {
+		t.Error("spin not deterministic")
+	}
+}

@@ -1,0 +1,155 @@
+// Package tashkent is a from-scratch Go reproduction of the
+// replicated database system from "Tashkent: Uniting Durability with
+// Transaction Ordering for High-Performance Scalable Database
+// Replication" (Elnikety, Dropsho, Pedone — EuroSys 2006).
+//
+// It provides a fully replicated snapshot-isolated database: every
+// transaction, read-only or update, runs on a single replica; a
+// replicated certifier decides the global commit order of update
+// transactions via writeset certification (generalized snapshot
+// isolation). Three commit strategies are available, matching the
+// paper's three systems:
+//
+//   - ModeBase — ordering in the middleware, durability in the
+//     database: commits serialize, one fsync each (the bottleneck the
+//     paper identifies).
+//   - ModeTashkentMW — durability moves into the certifier's
+//     group-committed log; replica commits are in-memory.
+//   - ModeTashkentAPI — the database's commit API takes the global
+//     order (COMMIT <seq>), so commits submit concurrently and share
+//     fsyncs while announcing in order.
+//
+// Quick start:
+//
+//	db, err := tashkent.Start(tashkent.Config{Mode: tashkent.ModeTashkentMW, Replicas: 3})
+//	defer db.Close()
+//	tx, _ := db.Begin(0)                       // open a txn on replica 0
+//	tx.Update("accounts", "alice", map[string][]byte{"balance": []byte("100")})
+//	err = tx.Commit()                          // certified + globally ordered
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-figure reproductions.
+package tashkent
+
+import (
+	"time"
+
+	"tashkent/internal/cluster"
+	"tashkent/internal/proxy"
+	"tashkent/internal/replica"
+	"tashkent/internal/simdisk"
+	"tashkent/internal/workload"
+)
+
+// Mode selects the commit strategy (the paper's three systems).
+type Mode = proxy.Mode
+
+// The available modes.
+const (
+	ModeBase        = proxy.Base
+	ModeTashkentMW  = proxy.TashkentMW
+	ModeTashkentAPI = proxy.TashkentAPI
+)
+
+// ErrAborted is returned from Tx.Commit when certification found a
+// write-write conflict; retry the transaction against a fresh
+// snapshot.
+var ErrAborted = proxy.ErrCertificationAbort
+
+// IsAborted reports whether an error from a transaction operation or
+// commit is a benign snapshot-isolation abort — a certification
+// conflict, a local first-committer-wins conflict, a deadlock victim,
+// or a middleware kill in favour of a remote writeset. Such
+// transactions can simply be retried against a fresh snapshot.
+func IsAborted(err error) bool { return workload.IsAbort(err) }
+
+// Tx is a client transaction handle. Reads and writes execute against
+// the replica-local snapshot; Commit runs the replication protocol.
+type Tx = proxy.Tx
+
+// Config configures a database. The zero value of optional fields
+// picks sensible defaults (3 certifiers, instant disks, optimizations
+// on).
+type Config struct {
+	// Mode is the commit strategy (required).
+	Mode Mode
+	// Replicas is the number of database replicas (default 1).
+	Replicas int
+	// Certifiers sizes the certifier group (default 3).
+	Certifiers int
+	// DiskProfile models the disks; zero means instant (in-memory
+	// speed). Use simdisk.Paper() (exposed as PaperDisks) to get the
+	// paper's 8 ms-fsync disk.
+	DiskProfile simdisk.Profile
+	// DedicatedLogDisk puts database files on ramdisk so the disk
+	// serves only the log.
+	DedicatedLogDisk bool
+	// StalenessBound makes idle replicas pull updates after this long
+	// (default 1 s; 0 keeps the default, negative disables).
+	StalenessBound time.Duration
+	// Seed fixes all simulated randomness.
+	Seed int64
+}
+
+// PaperDisks returns the disk latency profile of the paper's testbed
+// (8 ms fsync), optionally scaled down by div to run sweeps quickly.
+func PaperDisks(div int) simdisk.Profile {
+	p := simdisk.Paper()
+	if div > 1 {
+		p = p.Scaled(div)
+	}
+	return p
+}
+
+// DB is a running replicated database.
+type DB struct {
+	c *cluster.Cluster
+}
+
+// Start builds and starts the replicated system.
+func Start(cfg Config) (*DB, error) {
+	sb := cfg.StalenessBound
+	if sb == 0 {
+		sb = time.Second
+	} else if sb < 0 {
+		sb = 0
+	}
+	c, err := cluster.New(cluster.Config{
+		Mode:               cfg.Mode,
+		Replicas:           cfg.Replicas,
+		Certifiers:         cfg.Certifiers,
+		IOProfile:          cfg.DiskProfile,
+		DedicatedIO:        cfg.DedicatedLogDisk,
+		LocalCertification: true,
+		EagerPreCert:       true,
+		StalenessBound:     sb,
+		Seed:               cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{c: c}, nil
+}
+
+// Begin opens a transaction on the given replica (0-based). Reads and
+// writes run locally; Commit certifies updates globally.
+func (db *DB) Begin(replica int) (*Tx, error) { return db.c.Begin(replica) }
+
+// Replicas returns the replica count.
+func (db *DB) Replicas() int { return db.c.Replicas() }
+
+// Replica exposes a replica node (crash/recovery, stats, dumps).
+func (db *DB) Replica(i int) *replica.Replica { return db.c.Replica(i) }
+
+// Cluster exposes the underlying cluster for advanced orchestration
+// (failure injection, certifier access, convergence helpers).
+func (db *DB) Cluster() *cluster.Cluster { return db.c }
+
+// Converge brings every replica up to the current global version —
+// useful before consistency checks or snapshots.
+func (db *DB) Converge(timeout time.Duration) error {
+	return db.c.ConvergeAll(timeout)
+}
+
+// Close shuts the system down.
+func (db *DB) Close() { db.c.Close() }

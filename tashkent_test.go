@@ -1,0 +1,117 @@
+package tashkent_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tashkent"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, err := tashkent.Start(tashkent.Config{
+		Mode:     tashkent.ModeTashkentMW,
+		Replicas: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	tx, err := db.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("accounts", "alice", map[string][]byte{"balance": []byte("100")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Converge(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Visible on every replica.
+	for i := 0; i < db.Replicas(); i++ {
+		tx, err := db.Begin(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := tx.ReadCol("accounts", "alice", "balance")
+		if err != nil || !ok || string(v) != "100" {
+			t.Errorf("replica %d: %q %v %v", i, v, ok, err)
+		}
+		tx.Abort()
+	}
+}
+
+func TestPublicAPIConflictSurfacesErrAborted(t *testing.T) {
+	db, err := tashkent.Start(tashkent.Config{Mode: tashkent.ModeTashkentAPI, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	seed, _ := db.Begin(0)
+	seed.Update("t", "k", map[string][]byte{"v": []byte("0")})
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Converge(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := db.Begin(0)
+	b, _ := db.Begin(1)
+	a.Update("t", "k", map[string][]byte{"v": []byte("a")})
+	b.Update("t", "k", map[string][]byte{"v": []byte("b")})
+	errA, errB := a.Commit(), b.Commit()
+	aborts := 0
+	for _, e := range []error{errA, errB} {
+		if errors.Is(e, tashkent.ErrAborted) {
+			aborts++
+		}
+	}
+	if aborts != 1 {
+		t.Errorf("want exactly one ErrAborted, got errA=%v errB=%v", errA, errB)
+	}
+}
+
+func TestPublicAPIAllModes(t *testing.T) {
+	for _, mode := range []tashkent.Mode{tashkent.ModeBase, tashkent.ModeTashkentMW, tashkent.ModeTashkentAPI} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			db, err := tashkent.Start(tashkent.Config{Mode: mode, Replicas: 2, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			for i := 0; i < 5; i++ {
+				tx, err := db.Begin(i % 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Update("t", fmt.Sprintf("k%d", i), map[string][]byte{"v": {byte(i)}}); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Converge(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if db.Replica(0).Store().Fingerprint() != db.Replica(1).Store().Fingerprint() {
+				t.Error("replicas diverged")
+			}
+		})
+	}
+}
+
+func TestPaperDisksScaling(t *testing.T) {
+	full := tashkent.PaperDisks(1)
+	scaled := tashkent.PaperDisks(10)
+	if scaled.FsyncLatency != full.FsyncLatency/10 {
+		t.Errorf("scaled fsync = %v", scaled.FsyncLatency)
+	}
+}
