@@ -8,10 +8,11 @@
 //	tashbench -exp fig4            # AllUpdates throughput/RT, shared IO
 //	tashbench -exp all -scale 5    # everything, at 1/5 of paper latencies
 //	tashbench -exp fig14 -replicas 1,4,8,15
+//	tashbench -exp policies -policy roundrobin,leastinflight,rwsplit
 //
 // Experiments: fig4 (covers Fig 4+5), fig6 (6+7), fig8 (8+9),
 // fig10 (10+11), fig12 (12+13), fig14, standalone (§9.2 text),
-// recovery (§9.6), all.
+// recovery (§9.6), policies (session-API routing comparison), all.
 package main
 
 import (
@@ -34,6 +35,8 @@ func main() {
 		measure  = flag.Duration("measure", 1500*time.Millisecond, "measurement window per point")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warmup per point")
 		seed     = flag.Int64("seed", 1, "random seed")
+		policies = flag.String("policy", "roundrobin,leastinflight,rwsplit",
+			"comma-separated routing policies for -exp policies: roundrobin|leastinflight|rwsplit")
 	)
 	flag.Parse()
 
@@ -67,8 +70,12 @@ func main() {
 			return err
 		},
 		"recovery": func() error { _, err := harness.RunRecoveryExperiment(opt); return err },
+		"policies": func() error {
+			_, err := harness.RunPolicyComparison(splitPolicies(*policies), opt)
+			return err
+		},
 	}
-	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery"}
+	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -88,6 +95,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", *exp, err)
 		os.Exit(1)
 	}
+}
+
+func splitPolicies(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func parseCounts(s string) ([]int, error) {

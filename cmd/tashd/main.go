@@ -10,6 +10,14 @@
 // through the full replication protocol (certification, global
 // ordering, writeset propagation).
 //
+// Like the embedded client's RunTx executor, write requests absorb the
+// benign certification aborts of generalized snapshot isolation: the
+// daemon re-executes and re-commits with capped exponential backoff,
+// bounded by -txn-timeout, and reports Aborted only once the retry
+// budget is spent. Commits run through the context-aware commit path,
+// so a request that outlives its deadline aborts its local handle
+// instead of blocking a handler goroutine.
+//
 // Example against a local certd group:
 //
 //	tashd -id 1 -listen :7200 -mode mw -certifiers localhost:7100,localhost:7101,localhost:7102
@@ -17,6 +25,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"flag"
 	"fmt"
@@ -26,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"tashkent"
 	"tashkent/internal/certifier"
 	"tashkent/internal/proxy"
 	"tashkent/internal/replica"
@@ -77,6 +87,7 @@ func main() {
 		certifiers = flag.String("certifiers", "localhost:7100", "comma-separated certifier addresses (id order)")
 		fsyncUS    = flag.Int("fsync-us", 800, "simulated fsync latency in microseconds")
 		dedicated  = flag.Bool("dedicated-io", false, "database files on ramdisk; disk serves only the log")
+		txnTimeout = flag.Duration("txn-timeout", 10*time.Second, "per-request deadline covering execution, commit and abort retries")
 	)
 	flag.Parse()
 
@@ -114,7 +125,7 @@ func main() {
 		StalenessBound:     time.Second,
 	})
 
-	srv, err := transport.ServeTCP(*listen, handler(rep), 0)
+	srv, err := transport.ServeTCP(*listen, handler(rep, *txnTimeout), 0)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
 		os.Exit(1)
@@ -128,8 +139,10 @@ func main() {
 	rep.Close()
 }
 
-func handler(rep *replica.Replica) transport.Handler {
+func handler(rep *replica.Replica, txnTimeout time.Duration) transport.Handler {
 	return func(method string, req []byte) ([]byte, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), txnTimeout)
+		defer cancel()
 		switch method {
 		case "kv.get":
 			var r GetReq
@@ -151,60 +164,99 @@ func handler(rep *replica.Replica) transport.Handler {
 			if err := dec(req, &r); err != nil {
 				return nil, err
 			}
-			tx, err := rep.Begin()
+			aborted, err := commitRetried(ctx, rep, func(tx *proxy.Tx) error {
+				return tx.Update(r.Table, r.Key, map[string][]byte{r.Col: r.Value})
+			})
 			if err != nil {
 				return nil, err
 			}
-			if err := tx.Update(r.Table, r.Key, map[string][]byte{r.Col: r.Value}); err != nil {
-				tx.Abort()
-				return enc(PutResp{Aborted: true})
-			}
-			if err := tx.Commit(); err != nil {
-				return enc(PutResp{Aborted: true})
-			}
-			return enc(PutResp{})
+			return enc(PutResp{Aborted: aborted})
 		case "kv.txn":
 			var r TxnReq
 			if err := dec(req, &r); err != nil {
 				return nil, err
 			}
-			return runTxn(rep, r)
+			return runTxn(ctx, rep, r)
 		default:
 			return nil, fmt.Errorf("tashd: unknown method %q", method)
 		}
 	}
 }
 
-func runTxn(rep *replica.Replica, r TxnReq) ([]byte, error) {
-	tx, err := rep.Begin()
+func runTxn(ctx context.Context, rep *replica.Replica, r TxnReq) ([]byte, error) {
+	for _, op := range r.Ops {
+		switch op.Kind {
+		case "read", "update", "insert", "delete":
+		default:
+			return nil, fmt.Errorf("tashd: bad op kind %q", op.Kind)
+		}
+	}
+	var resp TxnResp
+	aborted, err := commitRetried(ctx, rep, func(tx *proxy.Tx) error {
+		resp = TxnResp{Reads: make([]map[string][]byte, len(r.Ops))}
+		for i, op := range r.Ops {
+			var err error
+			switch op.Kind {
+			case "read":
+				resp.Reads[i], _, err = tx.Read(op.Table, op.Key)
+			case "update":
+				err = tx.Update(op.Table, op.Key, op.Cols)
+			case "insert":
+				err = tx.Insert(op.Table, op.Key, op.Cols)
+			case "delete":
+				err = tx.Delete(op.Table, op.Key)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	resp := TxnResp{Reads: make([]map[string][]byte, len(r.Ops))}
-	for i, op := range r.Ops {
-		var err error
-		switch op.Kind {
-		case "read":
-			resp.Reads[i], _, err = tx.Read(op.Table, op.Key)
-		case "update":
-			err = tx.Update(op.Table, op.Key, op.Cols)
-		case "insert":
-			err = tx.Insert(op.Table, op.Key, op.Cols)
-		case "delete":
-			err = tx.Delete(op.Table, op.Key)
-		default:
-			err = fmt.Errorf("bad op kind %q", op.Kind)
-		}
-		if err != nil {
-			tx.Abort()
-			resp.Aborted = true
-			return enc(resp)
-		}
-	}
-	if err := tx.Commit(); err != nil {
-		resp.Aborted = true
-	}
+	resp.Aborted = aborted
 	return enc(resp)
+}
+
+// commitRetried is the daemon-side analogue of the session executor's
+// RunTx: it runs fn in a fresh transaction and commits through the
+// context-aware path, retrying benign snapshot-isolation aborts with
+// capped exponential backoff. It reports aborted=true once the retry
+// budget or ctx is spent, and returns non-benign errors immediately.
+func commitRetried(ctx context.Context, rep *replica.Replica, fn func(*proxy.Tx) error) (aborted bool, err error) {
+	const maxRetries = 8
+	backoff := time.Millisecond
+	const backoffCap = 64 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		tx, err := rep.Begin()
+		if err != nil {
+			return false, err
+		}
+		if err = fn(tx); err == nil {
+			err = tx.CommitCtx(ctx)
+		} else {
+			tx.Abort()
+		}
+		switch {
+		case err == nil:
+			return false, nil
+		case !tashkent.IsAborted(err):
+			return false, err
+		case attempt == maxRetries:
+			return true, nil
+		}
+		select {
+		case <-ctx.Done():
+			// A deadline expiry is not a certification conflict; report
+			// it as an error so the client can tell the cases apart.
+			return false, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+	}
 }
 
 func enc(v interface{}) ([]byte, error) {

@@ -1,0 +1,143 @@
+// Command tashkv is a minimal CLI client for a tashd daemon, speaking
+// the kv.get / kv.put / kv.txn methods over the framed transport:
+//
+//	tashkv -addr localhost:7200 put accounts alice balance 100
+//	tashkv -addr localhost:7200 get accounts alice balance
+//	tashkv -addr localhost:7200 txn update:t:k1:v=1 read:t:k1 update:t:k2:v=2
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tashkent/internal/transport"
+)
+
+// Request/response shapes mirror cmd/tashd (gob matches by field).
+type getReq struct{ Table, Key, Col string }
+type getResp struct {
+	Value []byte
+	Found bool
+}
+type putReq struct {
+	Table, Key, Col string
+	Value           []byte
+}
+type putResp struct{ Aborted bool }
+type txnOp struct {
+	Kind  string
+	Table string
+	Key   string
+	Cols  map[string][]byte
+}
+type txnReq struct{ Ops []txnOp }
+type txnResp struct {
+	Reads   []map[string][]byte
+	Aborted bool
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7200", "tashd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tashkv [-addr host:port] get|put|txn ...")
+		os.Exit(2)
+	}
+	c := transport.DialTCP(*addr)
+	defer c.Close()
+
+	var err error
+	switch args[0] {
+	case "get":
+		if len(args) != 4 {
+			err = fmt.Errorf("usage: get <table> <key> <col>")
+			break
+		}
+		var resp getResp
+		if err = call(c, "kv.get", getReq{args[1], args[2], args[3]}, &resp); err == nil {
+			fmt.Printf("found=%v value=%s\n", resp.Found, resp.Value)
+		}
+	case "put":
+		if len(args) != 5 {
+			err = fmt.Errorf("usage: put <table> <key> <col> <value>")
+			break
+		}
+		var resp putResp
+		if err = call(c, "kv.put", putReq{args[1], args[2], args[3], []byte(args[4])}, &resp); err == nil {
+			fmt.Printf("aborted=%v\n", resp.Aborted)
+		}
+	case "txn":
+		ops, perr := parseOps(args[1:])
+		if perr != nil {
+			err = perr
+			break
+		}
+		var resp txnResp
+		if err = call(c, "kv.txn", txnReq{Ops: ops}, &resp); err == nil {
+			fmt.Printf("aborted=%v\n", resp.Aborted)
+			for i, rd := range resp.Reads {
+				if ops[i].Kind == "read" {
+					fmt.Printf("read %s/%s: %v\n", ops[i].Table, ops[i].Key, render(rd))
+				}
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown command %q", args[0])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// parseOps turns kind:table:key[:col=val,...] words into txn ops.
+func parseOps(words []string) ([]txnOp, error) {
+	var ops []txnOp
+	for _, w := range words {
+		parts := strings.SplitN(w, ":", 4)
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("bad op %q (want kind:table:key[:col=val,...])", w)
+		}
+		op := txnOp{Kind: parts[0], Table: parts[1], Key: parts[2]}
+		if len(parts) == 4 && parts[3] != "" {
+			op.Cols = map[string][]byte{}
+			for _, kv := range strings.Split(parts[3], ",") {
+				c, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("bad col %q in op %q", kv, w)
+				}
+				op.Cols[c] = []byte(v)
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+func render(row map[string][]byte) string {
+	if row == nil {
+		return "<missing>"
+	}
+	var parts []string
+	for k, v := range row {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, v))
+	}
+	return strings.Join(parts, " ")
+}
+
+func call(c transport.Client, method string, req, resp interface{}) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return err
+	}
+	b, err := c.Call(method, buf.Bytes())
+	if err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(resp)
+}

@@ -1,13 +1,15 @@
 // Banking: a TPC-B-style money-transfer service on a replicated
-// database, demonstrating snapshot-isolation conflicts and retries.
-// Concurrent clients on different replicas transfer between accounts;
-// write-write conflicts on the same account surface as
-// tashkent.ErrAborted and are retried against a fresh snapshot.
+// database, demonstrating snapshot-isolation conflicts and the
+// auto-retry executor. Each concurrent client owns a Session (routed
+// by least-in-flight load balancing) and runs transfers through
+// RunTx, which transparently retries the write-write conflicts on hot
+// accounts with capped exponential backoff.
 //
 //	go run ./examples/banking
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -34,32 +36,43 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	ctx := context.Background()
 
 	// Seed the accounts with 1000 each.
-	seed, err := db.Begin(0)
+	err = db.RunTx(ctx, func(tx *tashkent.Tx) error {
+		for i := 0; i < accounts; i++ {
+			if err := tx.Insert("accounts", acct(i), map[string][]byte{"balance": []byte("1000")}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; i < accounts; i++ {
-		if err := seed.Insert("accounts", acct(i), map[string][]byte{"balance": []byte("1000")}); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := seed.Commit(); err != nil {
-		log.Fatal(err)
-	}
+	// Client sessions start with a zero causal token — they have
+	// observed nothing yet — so make the seed visible everywhere before
+	// they begin, or a lagging replica would misread missing accounts
+	// as empty ones.
 	if err := db.Converge(5 * time.Second); err != nil {
 		log.Fatal(err)
 	}
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	committed, retried := 0, 0
+	committed, dropped := 0, 0
 	for c := 0; c < clients; c++ {
 		c := c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One session per client: its causal token makes the
+			// client's own transfers visible to its next read no matter
+			// which replica serves it.
+			sess := db.Session(
+				tashkent.WithPolicy(tashkent.LeastInFlight()),
+				tashkent.WithMaxRetries(50), // hot accounts conflict a lot
+			)
 			r := rand.New(rand.NewSource(int64(c)))
 			for t := 0; t < transfers; t++ {
 				from, to := r.Intn(accounts), r.Intn(accounts)
@@ -67,25 +80,17 @@ func main() {
 					continue
 				}
 				amount := 1 + r.Intn(50)
-				for {
-					err := transfer(db, c%replicas, from, to, amount)
-					if err == nil {
-						mu.Lock()
-						committed++
-						mu.Unlock()
-						break
-					}
-					if tashkent.IsAborted(err) {
-						mu.Lock()
-						retried++
-						mu.Unlock()
-						// Brief randomized backoff before retrying
-						// against a fresh snapshot.
-						time.Sleep(time.Duration(r.Intn(500)) * time.Microsecond)
-						continue
-					}
+				ok, err := transfer(ctx, sess, from, to, amount)
+				if err != nil {
 					log.Fatalf("transfer failed: %v", err)
 				}
+				mu.Lock()
+				if ok {
+					committed++
+				} else {
+					dropped++
+				}
+				mu.Unlock()
 			}
 		}()
 	}
@@ -95,9 +100,10 @@ func main() {
 	if err := db.Converge(5 * time.Second); err != nil {
 		log.Fatal(err)
 	}
+	sess := db.Session()
 	for i := 0; i < replicas; i++ {
 		total := 0
-		tx, err := db.Begin(i)
+		tx, err := sess.Begin(ctx, tashkent.ReadOnly())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,45 +115,46 @@ func main() {
 			n, _ := strconv.Atoi(string(v))
 			total += n
 		}
+		rep := tx.Replica()
 		tx.Abort()
-		fmt.Printf("replica %d: total balance = %d (want %d)\n", i, total, accounts*1000)
+		fmt.Printf("replica %d: total balance = %d (want %d)\n", rep, total, accounts*1000)
 		if total != accounts*1000 {
 			log.Fatal("MONEY NOT CONSERVED — snapshot isolation violated")
 		}
 	}
-	fmt.Printf("%d transfers committed, %d conflict retries\n", committed, retried)
+	fmt.Printf("%d transfers committed, %d dropped for insufficient funds\n", committed, dropped)
 }
 
 func acct(i int) string { return fmt.Sprintf("a%03d", i) }
 
-// transfer moves amount between two accounts in one transaction.
-func transfer(db *tashkent.DB, replica, from, to, amount int) error {
-	tx, err := db.Begin(replica)
-	if err != nil {
-		return err
-	}
-	fromBal, _, err := tx.ReadCol("accounts", acct(from), "balance")
-	if err != nil {
-		tx.Abort()
-		return err
-	}
-	toBal, _, err := tx.ReadCol("accounts", acct(to), "balance")
-	if err != nil {
-		tx.Abort()
-		return err
-	}
-	f, _ := strconv.Atoi(string(fromBal))
-	t, _ := strconv.Atoi(string(toBal))
-	if f < amount {
-		return tx.Abort() // insufficient funds: just drop the txn
-	}
-	if err := tx.Update("accounts", acct(from), map[string][]byte{"balance": []byte(strconv.Itoa(f - amount))}); err != nil {
-		tx.Abort()
-		return err
-	}
-	if err := tx.Update("accounts", acct(to), map[string][]byte{"balance": []byte(strconv.Itoa(t + amount))}); err != nil {
-		tx.Abort()
-		return err
-	}
-	return tx.Commit()
+// transfer moves amount between two accounts in one RunTx transaction;
+// conflict aborts are retried by the executor. Returns false if the
+// transfer was dropped for insufficient funds.
+func transfer(ctx context.Context, sess *tashkent.Session, from, to, amount int) (bool, error) {
+	moved := false
+	err := sess.RunTx(ctx, func(tx *tashkent.Tx) error {
+		moved = false
+		fromBal, _, err := tx.ReadCol("accounts", acct(from), "balance")
+		if err != nil {
+			return err
+		}
+		toBal, _, err := tx.ReadCol("accounts", acct(to), "balance")
+		if err != nil {
+			return err
+		}
+		f, _ := strconv.Atoi(string(fromBal))
+		t, _ := strconv.Atoi(string(toBal))
+		if f < amount {
+			return tx.Abort() // business-level give-up: RunTx won't retry
+		}
+		if err := tx.Update("accounts", acct(from), map[string][]byte{"balance": []byte(strconv.Itoa(f - amount))}); err != nil {
+			return err
+		}
+		if err := tx.Update("accounts", acct(to), map[string][]byte{"balance": []byte(strconv.Itoa(t + amount))}); err != nil {
+			return err
+		}
+		moved = true
+		return nil
+	})
+	return moved, err
 }

@@ -1,12 +1,18 @@
 // Failover: exercise the fault-tolerance story of paper §7 end to
 // end — crash and recover a Tashkent-MW replica (dump + writeset
 // replay) and crash the certifier leader mid-stream (the group elects
-// a new leader and no committed transaction is lost).
+// a new leader and no committed transaction is lost). The session API
+// rides through the replica crash transparently — Begin skips the
+// crashed replica. Leader loss is different: mid-election commits fail
+// with transport/not-leader errors, which are not benign certification
+// aborts, so RunTx surfaces them and an explicit bounded retry loop
+// rides the election out.
 //
 //	go run ./examples/failover
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,22 +29,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	ctx := context.Background()
+	sess := db.Session()
 
-	put := func(replica int, key, val string) error {
-		tx, err := db.Begin(replica)
-		if err != nil {
-			return err
-		}
-		if err := tx.Update("t", key, map[string][]byte{"v": []byte(val)}); err != nil {
-			tx.Abort()
-			return err
-		}
-		return tx.Commit()
+	put := func(ctx context.Context, key, val string) error {
+		return sess.RunTx(ctx, func(tx *tashkent.Tx) error {
+			return tx.Update("t", key, map[string][]byte{"v": []byte(val)})
+		})
 	}
 
 	// Build up some state and take the periodic backup dump.
 	for i := 0; i < 20; i++ {
-		if err := put(0, fmt.Sprintf("k%02d", i), "before-dump"); err != nil {
+		if err := put(ctx, fmt.Sprintf("k%02d", i), "before-dump"); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -50,15 +52,16 @@ func main() {
 	// More commits after the dump — these exist only in the
 	// certifier's durable log (replica WAL is disabled under MW).
 	for i := 20; i < 30; i++ {
-		if err := put(0, fmt.Sprintf("k%02d", i), "after-dump"); err != nil {
+		if err := put(ctx, fmt.Sprintf("k%02d", i), "after-dump"); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	// Crash replica 0. The system keeps serving on replica 1.
+	// Crash replica 0. The session's routing notices the dead replica
+	// and keeps serving on replica 1 — no caller-side replica math.
 	db.Cluster().CrashReplica(0)
-	fmt.Println("replica 0 crashed; committing on replica 1 during the outage")
-	if err := put(1, "during-outage", "yes"); err != nil {
+	fmt.Println("replica 0 crashed; session keeps committing during the outage")
+	if err := put(ctx, "during-outage", "yes"); err != nil {
 		log.Fatal(err)
 	}
 
@@ -80,12 +83,17 @@ func main() {
 			break
 		}
 	}
-	deadline := time.Now().Add(10 * time.Second)
+	// Mid-election commits fail with transport/not-leader errors. Those
+	// are not the benign certification aborts RunTx absorbs, so the
+	// executor surfaces them immediately — ride the election out with
+	// an explicit retry loop bounded by the context deadline.
+	electCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
 	for {
-		if err := put(0, "post-failover", "yes"); err == nil {
+		if err := put(electCtx, "post-failover", "yes"); err == nil {
 			break
 		}
-		if time.Now().After(deadline) {
+		if electCtx.Err() != nil {
 			log.Fatal("system did not recover from leader crash")
 		}
 		time.Sleep(50 * time.Millisecond)

@@ -1,13 +1,15 @@
 // Quickstart: start a 3-replica Tashkent-MW database in-process,
-// commit an update on one replica and read it back from another.
+// commit an update through a session and read it back — the session's
+// causal token guarantees the write is visible no matter which replica
+// the next transaction lands on.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
 	"tashkent"
 )
@@ -22,26 +24,26 @@ func main() {
 	}
 	defer db.Close()
 
-	// An update transaction on replica 0: executes locally, commits
+	ctx := context.Background()
+	sess := db.Session() // round-robin routing, causal token
+
+	// An update transaction: the session routes it to a replica, the
+	// executor absorbs benign certification aborts, and the commit runs
 	// through certification and the global order.
-	tx, err := db.Begin(0)
+	err = sess.RunTx(ctx, func(tx *tashkent.Tx) error {
+		fmt.Printf("updating alice on replica %d\n", tx.Replica())
+		return tx.Update("accounts", "alice", map[string][]byte{"balance": []byte("100")})
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := tx.Update("accounts", "alice", map[string][]byte{"balance": []byte("100")}); err != nil {
-		log.Fatal(err)
-	}
-	if err := tx.Commit(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("committed alice=100 on replica 0")
+	fmt.Println("committed alice=100; session token =", sess.Token())
 
-	// Writesets propagate to the other replicas.
-	if err := db.Converge(5 * time.Second); err != nil {
-		log.Fatal(err)
-	}
+	// Read it back once per replica: each Begin routes to the next
+	// replica in rotation and waits until that replica has caught up to
+	// the session's token — read-your-writes without Converge.
 	for i := 0; i < db.Replicas(); i++ {
-		ro, err := db.Begin(i)
+		ro, err := sess.Begin(ctx, tashkent.ReadOnly())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,6 +52,6 @@ func main() {
 			log.Fatal(err)
 		}
 		ro.Abort()
-		fmt.Printf("replica %d reads alice balance = %s (found=%v)\n", i, v, ok)
+		fmt.Printf("replica %d reads alice balance = %s (found=%v)\n", ro.Replica(), v, ok)
 	}
 }

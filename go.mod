@@ -1,0 +1,3 @@
+module tashkent
+
+go 1.22

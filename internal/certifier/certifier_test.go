@@ -365,9 +365,22 @@ func TestCertifierRecoveryStateTransfer(t *testing.T) {
 	if _, err := g.client.Certify(Request{Origin: 1, StartVersion: 6, WSBytes: wsBytes("post")}); err != nil {
 		t.Fatal(err)
 	}
+	// The leader replicates its log on traffic, so a quiet group can
+	// leave the revived node one entry behind for the whole window;
+	// nudge with fresh commits while waiting. The assertion stays
+	// meaningful: a broken rejoin keeps the revived node's commit index
+	// below 7 no matter how much traffic flows.
 	deadline := time.Now().Add(15 * time.Second)
+	lastNudge := time.Now()
+	nudge := 7
 	for time.Now().Before(deadline) && revived.Node().CommitIndex() < 7 {
 		time.Sleep(2 * time.Millisecond)
+		if time.Since(lastNudge) > 200*time.Millisecond {
+			lastNudge = time.Now()
+			g.client.Certify(Request{Origin: 1, StartVersion: uint64(nudge),
+				WSBytes: wsBytes(fmt.Sprintf("nudge%d", nudge))})
+			nudge++
+		}
 	}
 	if got := revived.Node().CommitIndex(); got < 7 {
 		t.Errorf("revived certifier commit index = %d, want >= 7", got)

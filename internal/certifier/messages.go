@@ -77,6 +77,11 @@ type Response struct {
 	// ReplicaSeq order, which guarantees it observes the global commit
 	// order even when transport reorders concurrent responses.
 	ReplicaSeq uint64
+	// SeqEpoch identifies the leadership term whose counter assigned
+	// ReplicaSeq. A new leader restarts the per-replica counters, so
+	// the proxy re-anchors its sequencer whenever the epoch advances
+	// and discards responses from deposed leaders.
+	SeqEpoch uint64
 }
 
 // PullRequest proactively fetches remote writesets (the staleness
@@ -98,6 +103,9 @@ type PullResponse struct {
 	// ReplicaSeq orders pull responses into the same per-replica
 	// application sequence as certification responses.
 	ReplicaSeq uint64
+	// SeqEpoch is the leadership term that assigned ReplicaSeq (see
+	// Response.SeqEpoch).
+	SeqEpoch uint64
 }
 
 // notLeaderPrefix marks redirect errors so clients fail over.

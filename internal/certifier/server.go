@@ -239,7 +239,7 @@ func (s *Server) certify(req Request) (Response, error) {
 		if injected {
 			s.stats.InjectedAborts++
 		}
-		resp := Response{Committed: false, ReplicaSeq: s.nextReplicaSeqLocked(req.Origin)}
+		resp := Response{Committed: false, ReplicaSeq: s.nextReplicaSeqLocked(req.Origin), SeqEpoch: s.basisTerm}
 		s.fillRemotesLocked(&resp, req.Origin, req.ReplicaVersion, s.committedCap(), req.NeedSafeBack)
 		s.mu.Unlock()
 		return resp, nil
@@ -270,7 +270,7 @@ func (s *Server) certify(req Request) (Response, error) {
 		return Response{}, err
 	}
 	s.stats.Commits++
-	resp := Response{Committed: true, CommitVersion: version, ReplicaSeq: s.nextReplicaSeqLocked(req.Origin)}
+	resp := Response{Committed: true, CommitVersion: version, ReplicaSeq: s.nextReplicaSeqLocked(req.Origin), SeqEpoch: s.basisTerm}
 	s.fillRemotesLocked(&resp, req.Origin, req.ReplicaVersion, version, req.NeedSafeBack)
 	s.mu.Unlock()
 
@@ -341,5 +341,6 @@ func (s *Server) pull(req PullRequest) (PullResponse, error) {
 	return PullResponse{
 		Remote: r.Remote, SystemVersion: upTo,
 		ReplicaSeq: s.nextReplicaSeqLocked(req.Origin),
+		SeqEpoch:   s.basisTerm,
 	}, nil
 }

@@ -6,11 +6,14 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"tashkent/internal/certifier"
+	"tashkent/internal/mvstore"
 	"tashkent/internal/proxy"
 	"tashkent/internal/replica"
 	"tashkent/internal/simdisk"
@@ -72,6 +75,24 @@ type Cluster struct {
 	certs    []*certifier.Server
 	certUp   []bool
 	replicas []*replica.Replica
+	// pullGates coalesces concurrent WaitVersion catch-up pulls, one
+	// gate per replica: N sessions waiting on the same lagging replica
+	// produce one Pull RPC, not N.
+	pullGates []pullGate
+}
+
+// pullGate is a single-flight latch around one replica's PullOnce.
+// The result travels with the flight so a waiter always reads the
+// outcome of the pull it joined, never a later flight's.
+type pullGate struct {
+	mu       sync.Mutex
+	inflight *pullFlight // non-nil while a pull is running
+}
+
+// pullFlight is one in-progress pull and its result.
+type pullFlight struct {
+	done chan struct{}
+	err  error // written before done closes
 }
 
 // New builds and starts a cluster, waiting for a certifier leader.
@@ -132,7 +153,37 @@ func New(cfg Config) (*Cluster, error) {
 		})
 		c.replicas = append(c.replicas, r)
 	}
+	c.pullGates = make([]pullGate, len(c.replicas))
 	return c, nil
+}
+
+// pullShared runs replica i's PullOnce with single-flight semantics:
+// a caller arriving while a pull is already running waits for that
+// pull's result instead of issuing a duplicate RPC at the certifier.
+func (c *Cluster) pullShared(ctx context.Context, i int) error {
+	g := &c.pullGates[i]
+	g.mu.Lock()
+	f := g.inflight
+	if f == nil {
+		f = &pullFlight{done: make(chan struct{})}
+		g.inflight = f
+		// The pull runs detached so an early ctx return of the caller
+		// that started it cannot strand later waiters on the gate.
+		go func() {
+			f.err = c.replicas[i].Proxy().PullOnce()
+			g.mu.Lock()
+			g.inflight = nil
+			g.mu.Unlock()
+			close(f.done)
+		}()
+	}
+	g.mu.Unlock()
+	select {
+	case <-f.done:
+		return f.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func certName(i int) string { return fmt.Sprintf("certifier-%d", i) }
@@ -165,11 +216,75 @@ func (c *Cluster) Mode() proxy.Mode { return c.cfg.Mode }
 // Replicas returns the replica count.
 func (c *Cluster) Replicas() int { return len(c.replicas) }
 
-// Replica returns replica i (0-based).
-func (c *Cluster) Replica(i int) *replica.Replica { return c.replicas[i] }
+// ErrNoSuchReplica reports a replica index outside [0, Replicas()).
+var ErrNoSuchReplica = errors.New("cluster: no such replica")
+
+// checkReplica validates a replica index.
+func (c *Cluster) checkReplica(i int) error {
+	if i < 0 || i >= len(c.replicas) {
+		return fmt.Errorf("%w: index %d outside [0,%d)", ErrNoSuchReplica, i, len(c.replicas))
+	}
+	return nil
+}
+
+// Replica returns replica i (0-based), or nil if i is out of range.
+func (c *Cluster) Replica(i int) *replica.Replica {
+	if c.checkReplica(i) != nil {
+		return nil
+	}
+	return c.replicas[i]
+}
 
 // Begin opens a client transaction on replica i.
-func (c *Cluster) Begin(i int) (*proxy.Tx, error) { return c.replicas[i].Begin() }
+func (c *Cluster) Begin(i int) (*proxy.Tx, error) {
+	if err := c.checkReplica(i); err != nil {
+		return nil, err
+	}
+	return c.replicas[i].Begin()
+}
+
+// WaitVersion blocks until replica i's announced version reaches v or
+// ctx expires — the causal wait behind a session's monotonic-read /
+// read-your-writes guarantee. A lagging replica is nudged with an
+// immediate writeset pull instead of waiting out the staleness bound.
+func (c *Cluster) WaitVersion(ctx context.Context, i int, v uint64) error {
+	if err := c.checkReplica(i); err != nil {
+		return err
+	}
+	r := c.replicas[i]
+	if v == 0 || r.Store().AnnouncedVersion() >= v {
+		return nil
+	}
+	// Wait in growing slices, pulling only when a slice times out: in
+	// steady state the missing writeset is already in flight on the
+	// normal response path and lands within the first few milliseconds,
+	// so most causal waits cost no certifier Pull at all. The slice
+	// only bounds how often we re-pull and re-check ctx —
+	// WaitAnnounced returns the moment the version lands — and backing
+	// off keeps a long catch-up (recovery replay) from hammering the
+	// certifier with a pull every few milliseconds per waiter.
+	slice := 5 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := r.Store().WaitAnnounced(v, slice)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, mvstore.ErrCrashed) {
+			return fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
+		// Timed out: normal propagation did not deliver our versions;
+		// pull them rather than wait out the staleness bound.
+		if err := c.pullShared(ctx, i); err != nil {
+			return fmt.Errorf("cluster: catching replica %d up to version %d: %w", i, v, err)
+		}
+		if slice *= 2; slice > 50*time.Millisecond {
+			slice = 50 * time.Millisecond
+		}
+	}
+}
 
 // CertLeader returns the current certifier leader (nil if none).
 func (c *Cluster) CertLeader() *certifier.Server {
@@ -184,11 +299,19 @@ func (c *Cluster) CertLeader() *certifier.Server {
 // Certifier returns certifier node i.
 func (c *Cluster) Certifier(i int) *certifier.Server { return c.certs[i] }
 
-// CrashReplica kills replica i (recoverable with RecoverReplica).
-func (c *Cluster) CrashReplica(i int) { c.replicas[i].Crash() }
+// CrashReplica kills replica i (recoverable with RecoverReplica); out
+// of range indices are ignored.
+func (c *Cluster) CrashReplica(i int) {
+	if c.checkReplica(i) == nil {
+		c.replicas[i].Crash()
+	}
+}
 
 // RecoverReplica runs the mode's recovery procedure on replica i.
 func (c *Cluster) RecoverReplica(i int) (replica.RecoveryReport, error) {
+	if err := c.checkReplica(i); err != nil {
+		return replica.RecoveryReport{}, err
+	}
 	return c.replicas[i].Recover()
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -252,6 +253,27 @@ func TestCertifierLeaderKillSystemSurvives(t *testing.T) {
 			t.Fatalf("system never recovered from leader kill: %v", err)
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestReplicaIndexBounds(t *testing.T) {
+	c := newTestCluster(t, proxy.TashkentMW, 2, nil)
+	for _, i := range []int{-1, 2, 99} {
+		if tx, err := c.Begin(i); err == nil {
+			tx.Abort()
+			t.Errorf("Begin(%d) on a 2-replica cluster: want error, got nil", i)
+		}
+		if rep := c.Replica(i); rep != nil {
+			t.Errorf("Replica(%d): want nil, got %v", i, rep)
+		}
+		if err := c.WaitVersion(context.Background(), i, 0); err == nil {
+			t.Errorf("WaitVersion(%d): want error, got nil", i)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if c.Replica(i) == nil {
+			t.Errorf("Replica(%d): want non-nil for in-range index", i)
+		}
 	}
 }
 

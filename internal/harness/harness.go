@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -125,15 +126,15 @@ type Series struct {
 // clusterFor builds the cluster for one system variant.
 func clusterFor(sys System, replicas int, dedicated bool, o Options, wl workload.Generator) (*cluster.Cluster, error) {
 	cfg := cluster.Config{
-		Replicas:              replicas,
-		Certifiers:            3,
-		IOProfile:             o.profile(),
-		DedicatedIO:           dedicated,
-		LocalCertification:    true,
-		EagerPreCert:          true,
-		LockTimeout:           5 * time.Second,
-		OrderTimeout:          10 * time.Second,
-		Seed:                  o.Seed,
+		Replicas:           replicas,
+		Certifiers:         3,
+		IOProfile:          o.profile(),
+		DedicatedIO:        dedicated,
+		LocalCertification: true,
+		EagerPreCert:       true,
+		LockTimeout:        5 * time.Second,
+		OrderTimeout:       10 * time.Second,
+		Seed:               o.Seed,
 	}
 	switch sys {
 	case SysBase:
@@ -163,8 +164,9 @@ func runPoint(sys System, replicas int, dedicated bool, wl workload.Generator, o
 	}
 	defer c.Close()
 
-	begin0 := func() (workload.Tx, error) { return c.Begin(0) }
-	if err := wl.Populate(begin0); err != nil {
+	ctx := context.Background()
+	begin0 := workload.Plain(func() (workload.PlainTx, error) { return c.Begin(0) })
+	if err := wl.Populate(ctx, begin0); err != nil {
 		return Point{}, fmt.Errorf("populate: %w", err)
 	}
 	if err := c.ConvergeAll(30 * time.Second); err != nil {
@@ -174,14 +176,14 @@ func runPoint(sys System, replicas int, dedicated bool, wl workload.Generator, o
 	begins := make([]workload.BeginFunc, replicas)
 	for i := 0; i < replicas; i++ {
 		i := i
-		begins[i] = func() (workload.Tx, error) { return c.Begin(i) }
+		begins[i] = workload.Plain(func() (workload.PlainTx, error) { return c.Begin(i) })
 	}
 	// Reset disk stats after populate so group ratios reflect steady
 	// state.
 	if leader := c.CertLeader(); leader != nil {
 		_ = leader
 	}
-	res := workload.Run(wl, begins, workload.RunConfig{
+	res := workload.Run(ctx, wl, begins, workload.RunConfig{
 		ClientsPerReplica: o.ClientsPerReplica,
 		Warmup:            o.Warmup,
 		Measure:           o.Measure,
@@ -353,9 +355,9 @@ func Fig14(o Options) (map[string]Series, error) {
 				begins := make([]workload.BeginFunc, n)
 				for i := 0; i < n; i++ {
 					i := i
-					begins[i] = func() (workload.Tx, error) { return c.Begin(i) }
+					begins[i] = workload.Plain(func() (workload.PlainTx, error) { return c.Begin(i) })
 				}
-				res := workload.Run(wl, begins, workload.RunConfig{
+				res := workload.Run(context.Background(), wl, begins, workload.RunConfig{
 					ClientsPerReplica: o.ClientsPerReplica,
 					Warmup:            o.Warmup,
 					Measure:           o.Measure,
@@ -442,8 +444,8 @@ func RunStandaloneComparison(dedicated bool, o Options) (StandaloneComparison, e
 	sa := replica.OpenStandalone(replica.IOConfig{
 		Profile: o.profile(), Dedicated: dedicated, Seed: o.Seed,
 	}, 0, 0)
-	res := workload.Run(&workload.AllUpdates{}, []workload.BeginFunc{
-		func() (workload.Tx, error) { return sa.Begin() },
+	res := workload.Run(context.Background(), &workload.AllUpdates{}, []workload.BeginFunc{
+		workload.Plain(func() (workload.PlainTx, error) { return sa.Begin() }),
 	}, workload.RunConfig{ClientsPerReplica: o.ClientsPerReplica, Warmup: o.Warmup, Measure: o.Measure, ExecTime: o.ExecTime, Seed: o.Seed})
 	sa.Close()
 	out.StandaloneThroughput = res.Throughput

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"tashkent"
+	"tashkent/internal/router"
+	"tashkent/internal/workload"
+)
+
+// PolicyPoint is one routing policy's measurement under the session
+// API.
+type PolicyPoint struct {
+	Policy  string
+	Writers int // rwsplit writer-set size (0 for other policies)
+	Result  workload.Result
+}
+
+// RunPolicyComparison drives the TPC-W shopping mix through the public
+// session API once per routing policy, so the balancing strategies are
+// directly comparable: every client owns a Session whose Begin routes
+// by policy and carries the causal token. Commits go through the
+// driver without RunTx retries on purpose — the aborts column reports
+// raw certification conflicts, which retrying would hide. It uses
+// Tashkent-API mode (concurrent ordered commits) on the largest
+// configured replica count.
+func RunPolicyComparison(policyNames []string, o Options) ([]PolicyPoint, error) {
+	o = o.withDefaults()
+	replicas := 1
+	for _, n := range o.ReplicaCounts {
+		if n > replicas {
+			replicas = n
+		}
+	}
+	writers := (replicas + 1) / 2
+	fmt.Fprintf(o.Out, "\n=== routing policies: TPC-W via session API (tashAPI, %d replicas, rwsplit writers=%d) ===\n",
+		replicas, writers)
+
+	var out []PolicyPoint
+	for _, name := range policyNames {
+		policy, err := router.Parse(name, writers)
+		if err != nil {
+			return out, err
+		}
+		pt, err := runPolicyPoint(policy, replicas, writers, o)
+		if err != nil {
+			return out, fmt.Errorf("policy %s: %w", name, err)
+		}
+		out = append(out, pt)
+	}
+
+	fmt.Fprintf(o.Out, "\npolicy\ttxn/s\tmean RT(ms)\tread RT(ms)\tupdate RT(ms)\taborts%%\n")
+	for _, pt := range out {
+		r := pt.Result
+		fmt.Fprintf(o.Out, "%s\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			pt.Policy, r.Throughput,
+			float64(r.RT.Mean.Microseconds())/1000,
+			float64(r.ReadRT.Mean.Microseconds())/1000,
+			float64(r.UpdateRT.Mean.Microseconds())/1000,
+			r.AbortRate()*100)
+	}
+	return out, nil
+}
+
+func runPolicyPoint(policy tashkent.Policy, replicas, writers int, o Options) (PolicyPoint, error) {
+	db, err := tashkent.Start(tashkent.Config{
+		Mode:        tashkent.ModeTashkentAPI,
+		Replicas:    replicas,
+		DiskProfile: o.profile(),
+		Seed:        o.Seed,
+	})
+	if err != nil {
+		return PolicyPoint{}, err
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	wl := &workload.TPCW{Items: 500, CPUWork: 500}
+	seed := db.Session()
+	if err := wl.Populate(ctx, seed.WorkloadBegin()); err != nil {
+		return PolicyPoint{}, fmt.Errorf("populate: %w", err)
+	}
+	if err := db.Converge(30 * time.Second); err != nil {
+		return PolicyPoint{}, err
+	}
+
+	// One session per client group: sessions are the unit of causal
+	// ordering, so each simulated user gets their own.
+	begins := make([]workload.BeginFunc, replicas)
+	for i := range begins {
+		sess := db.Session(tashkent.WithPolicy(policy))
+		begins[i] = sess.WorkloadBegin()
+	}
+	res := workload.Run(ctx, wl, begins, workload.RunConfig{
+		ClientsPerReplica: o.ClientsPerReplica,
+		Warmup:            o.Warmup,
+		Measure:           o.Measure,
+		ExecTime:          o.ExecTime,
+		Seed:              o.Seed,
+	})
+	pt := PolicyPoint{Policy: policy.Name(), Result: res}
+	if policy.Name() == "rwsplit" {
+		pt.Writers = writers
+	}
+	return pt, nil
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,12 +17,12 @@ import (
 // rate, and certifier state-transfer size/time.
 type RecoveryReport struct {
 	// Tashkent-MW dump/restore.
-	DumpBytes             int
-	DumpDuration          time.Duration
+	DumpBytes              int
+	DumpDuration           time.Duration
 	ThroughputWhileDumping float64
 	ThroughputBaseline     float64
-	MWRestoreDuration     time.Duration
-	MWResyncWritesets     int64
+	MWRestoreDuration      time.Duration
+	MWResyncWritesets      int64
 
 	// Base/Tashkent-API WAL recovery.
 	WALRecords         int
@@ -31,8 +32,8 @@ type RecoveryReport struct {
 	ApplyRate float64 // writesets per second
 
 	// Certifier recovery.
-	CertTransferEntries int
-	CertTransferBytes   int
+	CertTransferEntries  int
+	CertTransferBytes    int
 	CertTransferDuration time.Duration
 }
 
@@ -62,15 +63,16 @@ func RunRecoveryExperiment(o Options) (RecoveryReport, error) {
 		return rep, err
 	}
 	wl := &workload.TPCW{Items: 2000, CPUWork: 200}
-	begin0 := func() (workload.Tx, error) { return mw.Begin(0) }
-	if err := wl.Populate(begin0); err != nil {
+	ctx := context.Background()
+	begin0 := workload.Plain(func() (workload.PlainTx, error) { return mw.Begin(0) })
+	if err := wl.Populate(ctx, begin0); err != nil {
 		mw.Close()
 		return rep, err
 	}
 	mw.ConvergeAll(30 * time.Second)
 
 	begins := []workload.BeginFunc{begin0}
-	baseline := workload.Run(wl, begins, workload.RunConfig{
+	baseline := workload.Run(ctx, wl, begins, workload.RunConfig{
 		ClientsPerReplica: o.ClientsPerReplica, Warmup: o.Warmup / 2, Measure: o.Measure / 2, Seed: o.Seed,
 	})
 	rep.ThroughputBaseline = baseline.Throughput
@@ -84,7 +86,7 @@ func RunRecoveryExperiment(o Options) (RecoveryReport, error) {
 		rep.DumpDuration = time.Since(dumpStart)
 		dumpDone <- err
 	}()
-	during := workload.Run(wl, begins, workload.RunConfig{
+	during := workload.Run(ctx, wl, begins, workload.RunConfig{
 		ClientsPerReplica: o.ClientsPerReplica, Warmup: o.Warmup / 2, Measure: o.Measure / 2, Seed: o.Seed + 1,
 	})
 	rep.ThroughputWhileDumping = during.Throughput
@@ -111,8 +113,8 @@ func RunRecoveryExperiment(o Options) (RecoveryReport, error) {
 		return rep, err
 	}
 	au := &workload.AllUpdates{}
-	baseBegins := []workload.BeginFunc{func() (workload.Tx, error) { return base.Begin(0) }}
-	workload.Run(au, baseBegins, workload.RunConfig{
+	baseBegins := []workload.BeginFunc{workload.Plain(func() (workload.PlainTx, error) { return base.Begin(0) })}
+	workload.Run(ctx, au, baseBegins, workload.RunConfig{
 		ClientsPerReplica: o.ClientsPerReplica, Warmup: 0, Measure: o.Measure / 2, Seed: o.Seed,
 	})
 	base.CrashReplica(0)
@@ -229,7 +231,11 @@ func measureCertTransfer(o Options, rep *RecoveryReport) error {
 // leaderClient adapts a certifier server to the paxos.Fetch peer
 // interface by calling its handler directly (the in-process
 // equivalent of the file transfer).
-type leaderClient struct{ s interface{ Handle(string, []byte) ([]byte, error) } }
+type leaderClient struct {
+	s interface {
+		Handle(string, []byte) ([]byte, error)
+	}
+}
 
 // Call implements the fetch peer interface.
 func (l leaderClient) Call(method string, req []byte) ([]byte, error) {

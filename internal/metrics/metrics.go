@@ -16,14 +16,14 @@ import (
 // uniform reservoir sampling so percentile estimates stay unbiased on
 // long runs.
 type Latency struct {
-	mu      sync.Mutex
-	count   int64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
-	samples []time.Duration
-	seen    int64 // samples offered to the reservoir
-	capN    int
+	mu       sync.Mutex
+	count    int64
+	sum      time.Duration
+	min      time.Duration
+	max      time.Duration
+	samples  []time.Duration
+	seen     int64 // samples offered to the reservoir
+	capN     int
 	rngState uint64
 }
 
@@ -129,9 +129,9 @@ func (l *Latency) Percentile(p float64) time.Duration {
 
 // Summary is a point-in-time digest of a Latency recorder.
 type Summary struct {
-	Count            int64
-	Mean, Min, Max   time.Duration
-	P50, P95, P99    time.Duration
+	Count          int64
+	Mean, Min, Max time.Duration
+	P50, P95, P99  time.Duration
 }
 
 // Summarize returns the digest.
@@ -178,11 +178,11 @@ func (c *Counter) Value() int64 {
 // Interval measures throughput over an explicit window: call Start,
 // run the workload, call Stop, then read Rate.
 type Interval struct {
-	mu       sync.Mutex
-	events   int64
-	started  time.Time
-	stopped  time.Time
-	running  bool
+	mu      sync.Mutex
+	events  int64
+	started time.Time
+	stopped time.Time
+	running bool
 }
 
 // Start begins (or restarts) the measurement window and zeroes the

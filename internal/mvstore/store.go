@@ -140,14 +140,14 @@ type orderWaiter struct {
 
 // Stats is a snapshot of store activity counters.
 type Stats struct {
-	Commits        int64
+	Commits         int64
 	ReadOnlyCommits int64
-	Aborts         int64
-	Deadlocks      int64
-	WriteConflicts int64
-	Kills          int64
-	RowReads       int64
-	RowWrites      int64
+	Aborts          int64
+	Deadlocks       int64
+	WriteConflicts  int64
+	Kills           int64
+	RowReads        int64
+	RowWrites       int64
 }
 
 // Store is one database instance. All methods are safe for concurrent
@@ -155,20 +155,20 @@ type Stats struct {
 type Store struct {
 	cfg Config
 
-	mu        sync.Mutex
-	tables    map[string]*table
-	mvccSeq   uint64 // internal commit sequence: stamps row versions & snapshots
-	announced uint64 // commit-order semaphore value (global version space)
-	nextTxID  uint64
-	active    map[uint64]*Tx
-	locks     map[core.ItemID]*lockState
-	waitsFor  map[uint64]uint64 // blocked tx → lock holder it waits on
-	orderWait []orderWaiter
-	crashed   bool
-	crashCh   chan struct{} // closed on crash, unblocks waiters
-	stats     Stats
-	readTick  int   // page-miss modelling counter
-	dirtyTick int64 // checkpoint modelling counter
+	mu             sync.Mutex
+	tables         map[string]*table
+	mvccSeq        uint64 // internal commit sequence: stamps row versions & snapshots
+	announced      uint64 // commit-order semaphore value (global version space)
+	nextTxID       uint64
+	active         map[uint64]*Tx
+	locks          map[core.ItemID]*lockState
+	waitsFor       map[uint64]uint64 // blocked tx → lock holder it waits on
+	orderWait      []orderWaiter
+	crashed        bool
+	crashCh        chan struct{} // closed on crash, unblocks waiters
+	stats          Stats
+	readTick       int   // page-miss modelling counter
+	dirtyTick      int64 // checkpoint modelling counter
 	failNextCommit int32 // fault injection: reject next N commits
 
 	log      *wal.WAL

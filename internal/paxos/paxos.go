@@ -120,9 +120,9 @@ type Node struct {
 	lastHeard   time.Time
 	stopped     bool
 
-	wal  *wal.WAL
-	rng  *rand.Rand
-	wg   sync.WaitGroup
+	wal    *wal.WAL
+	rng    *rand.Rand
+	wg     sync.WaitGroup
 	stopCh chan struct{}
 }
 

@@ -39,9 +39,9 @@ func newGroup(t *testing.T, n int, mode wal.Mode) *group {
 		}
 		i := i
 		node := NewNode(Config{
-			ID:    i,
-			Peers: peers,
-			Disk:  simdisk.New(simdisk.Instant(), int64(i)),
+			ID:      i,
+			Peers:   peers,
+			Disk:    simdisk.New(simdisk.Instant(), int64(i)),
 			WALMode: mode,
 			Apply: func(e Entry) {
 				g.applyMu.Lock()
@@ -218,7 +218,13 @@ func TestRecoveryFromWALImage(t *testing.T) {
 		proposeAndWait(t, g.nodes[ld], fmt.Sprintf("e%d", i))
 	}
 	// Crash a follower, recover a fresh node from its WAL image.
+	// Commit only waits for a majority, so the victim may still lag the
+	// last entry; let it persist all 5 before imaging it.
 	victim := (ld + 1) % 3
+	waitDeadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(waitDeadline) && g.nodes[victim].LogLength() < 5 {
+		time.Sleep(2 * time.Millisecond)
+	}
 	img := g.nodes[victim].WALImage()
 	g.nodes[victim].Stop()
 	g.servers[victim].Close()

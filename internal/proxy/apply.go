@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,10 +21,23 @@ type sequencer struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	// next is the sequence number admitted next; 0 means unanchored
-	// (a freshly created or recovered proxy anchors to the first
-	// response it sees, since the certifier's per-replica numbering
-	// survives replica restarts).
+	// (a freshly created, recovered, or epoch-reset proxy anchors to
+	// the first response it sees).
 	next uint64
+	// gen counts epoch resets: a certifier leadership change restarts
+	// the per-replica numbering, so waiters and cursor updates from the
+	// old epoch must not touch the re-anchored cursor.
+	gen uint64
+	// epoch is the certifier leadership term whose counter numbers the
+	// current sequence (0 until the first stamped response arrives).
+	// It lives here, under mu, so epoch validation is atomic with
+	// taking a sequence slot — an old-epoch response can never slip
+	// past a check and queue itself into the new numbering.
+	epoch uint64
+	// active marks a holder between enter and exit. An epoch advance
+	// must drain it before re-anchoring, or the new epoch's first
+	// application would overlap the old epoch's in-flight one.
+	active bool
 }
 
 func newSequencer() *sequencer {
@@ -33,28 +47,66 @@ func newSequencer() *sequencer {
 }
 
 // errStaleSeq reports a sequence number below the current cursor
-// (possible only after a resync skipped it).
+// (possible only after a resync skipped it); the skipping resync
+// already applied the state the response carried.
 var errStaleSeq = errors.New("proxy: stale response sequence")
+
+// errEpochReset reports a response numbered by a superseded leadership
+// term. Unlike errStaleSeq nothing applied the remote writesets it
+// carried, so the caller must resync before moving on.
+var errEpochReset = errors.New("proxy: response from superseded sequence epoch")
 
 // errSeqTimeout reports that a predecessor response never arrived.
 var errSeqTimeout = errors.New("proxy: response sequence gap timeout")
 
-// enter blocks until seq is the next to run. The caller must invoke
-// exit afterwards. A timeout means a predecessor was lost (certifier
-// failover); the caller resynchronizes.
-func (s *sequencer) enter(seq uint64, timeout time.Duration) error {
+// enter blocks until seq is the next to run within epoch's numbering,
+// returning the generation token the caller must pass to exit/skipTo.
+// A new leadership term restarts the certifier's per-replica counters,
+// so an advancing epoch re-anchors the cursor and invalidates waiters
+// from the old term; epoch 0 marks epoch-less responses (tests, legacy
+// peers) that always join the current numbering. A timeout means a
+// predecessor was lost (certifier failover); the caller resynchronizes.
+func (s *sequencer) enter(epoch, seq uint64, timeout time.Duration) (uint64, error) {
 	deadline := time.Now().Add(timeout)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for epoch != 0 && epoch != s.epoch {
+		if epoch < s.epoch {
+			return s.gen, errEpochReset
+		}
+		// Advancing epoch: drain the in-flight holder before
+		// re-anchoring, so the old epoch's application finishes before
+		// the new epoch's first one starts. Re-evaluate after every
+		// wakeup — the epoch may have moved again while waiting.
+		if s.active {
+			if time.Now().After(deadline) {
+				return s.gen, errSeqTimeout
+			}
+			go func() {
+				time.Sleep(10 * time.Millisecond)
+				s.cond.Broadcast()
+			}()
+			s.cond.Wait()
+			continue
+		}
+		s.epoch = epoch
+		s.gen++
+		s.next = 0
+		s.cond.Broadcast()
+	}
+	gen := s.gen
 	if s.next == 0 {
 		s.next = seq
 	}
 	for s.next != seq {
+		if s.gen != gen {
+			return gen, errEpochReset
+		}
 		if s.next > seq {
-			return errStaleSeq
+			return gen, errStaleSeq
 		}
 		if time.Now().After(deadline) {
-			return errSeqTimeout
+			return gen, errSeqTimeout
 		}
 		// cond.Wait has no deadline; poke the condition periodically.
 		go func() {
@@ -63,28 +115,41 @@ func (s *sequencer) enter(seq uint64, timeout time.Duration) error {
 		}()
 		s.cond.Wait()
 	}
-	return nil
+	if s.gen != gen {
+		return gen, errEpochReset
+	}
+	s.active = true
+	return gen, nil
 }
 
-// exit releases the sequencer after seq's work is scheduled.
-func (s *sequencer) exit(seq uint64) {
+// exit releases the sequencer after seq's work is scheduled. gen must
+// be the token enter returned; a stale generation only clears the
+// holder flag without touching the re-anchored cursor.
+func (s *sequencer) exit(gen, seq uint64) {
 	s.mu.Lock()
-	if s.next == seq {
+	if s.gen == gen && s.next == seq {
 		s.next = seq + 1
 	}
+	s.active = false
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
 // skipTo forces the cursor forward after a resync declared earlier
-// sequence numbers lost.
-func (s *sequencer) skipTo(seq uint64) {
+// sequence numbers lost. A stale generation is a no-op.
+func (s *sequencer) skipTo(gen, seq uint64) {
 	s.mu.Lock()
-	if seq > s.next {
+	if s.gen == gen && seq > s.next {
 		s.next = seq
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+}
+
+// enterSeq validates the response's epoch and takes its slot in the
+// per-replica sequence (atomically, inside the sequencer's lock).
+func (p *Proxy) enterSeq(epoch, seq uint64) (uint64, error) {
+	return p.seq.enter(epoch, seq, p.cfg.SeqTimeout)
 }
 
 // --- Serial strategy (Base and Tashkent-MW) ---
@@ -96,27 +161,28 @@ func (s *sequencer) skipTo(seq uint64) {
 // concurrent across client sessions; only application is serialized,
 // which is exactly what makes Base pay two unsharable fsyncs per
 // update transaction.
-func (p *Proxy) commitSerial(t *Tx, req certifier.Request) error {
-	resp, err := p.cfg.Cert.Certify(req)
+func (p *Proxy) commitSerial(ctx context.Context, t *Tx, req certifier.Request) error {
+	resp, err := p.certify(ctx, t, req)
 	if err != nil {
-		t.inner.Abort()
-		return fmt.Errorf("proxy: certification: %w", err)
+		return err
 	}
-	if err := p.seq.enter(resp.ReplicaSeq, p.cfg.SeqTimeout); err != nil {
-		p.handleSeqFailure(err, resp.ReplicaSeq)
+	gen, err := p.enterSeq(resp.SeqEpoch, resp.ReplicaSeq)
+	if err != nil {
+		p.handleSeqFailure(err, gen, resp.ReplicaSeq)
 		// After a resync every remote writeset is applied; the local
 		// transaction's fate follows the certifier decision below, but
 		// its writes were certified against a version we have already
 		// passed, so apply-by-writeset keeps state correct.
 		if resp.Committed {
 			p.applyLocalByWriteset(t, resp.CommitVersion)
+			t.commitVersion = resp.CommitVersion
 			return nil
 		}
 		t.inner.Abort()
 		p.addStat(func(st *Stats) { st.CertAborts++ })
 		return ErrCertificationAbort
 	}
-	defer p.seq.exit(resp.ReplicaSeq)
+	defer p.seq.exit(gen, resp.ReplicaSeq)
 
 	p.mu.Lock()
 	basis := p.rvPlanned
@@ -167,6 +233,7 @@ func (p *Proxy) commitSerial(t *Tx, req certifier.Request) error {
 		}
 	}
 	p.advanceRV(resp.CommitVersion)
+	t.commitVersion = resp.CommitVersion
 	p.addStat(func(st *Stats) { st.Commits++ })
 	return nil
 }
@@ -179,16 +246,17 @@ func (p *Proxy) commitSerial(t *Tx, req certifier.Request) error {
 // shared fsyncs and the ordering semaphore announces them in global
 // order. Artificial conflicts split the remote writesets into chunks
 // that wait for the conflicting version to be announced first.
-func (p *Proxy) commitOrdered(t *Tx, req certifier.Request) error {
-	resp, err := p.cfg.Cert.Certify(req)
+func (p *Proxy) commitOrdered(ctx context.Context, t *Tx, req certifier.Request) error {
+	resp, err := p.certify(ctx, t, req)
 	if err != nil {
-		t.inner.Abort()
-		return fmt.Errorf("proxy: certification: %w", err)
+		return err
 	}
-	if err := p.seq.enter(resp.ReplicaSeq, p.cfg.SeqTimeout); err != nil {
-		p.handleSeqFailure(err, resp.ReplicaSeq)
+	gen, err := p.enterSeq(resp.SeqEpoch, resp.ReplicaSeq)
+	if err != nil {
+		p.handleSeqFailure(err, gen, resp.ReplicaSeq)
 		if resp.Committed {
 			p.applyLocalByWriteset(t, resp.CommitVersion)
+			t.commitVersion = resp.CommitVersion
 			return nil
 		}
 		t.inner.Abort()
@@ -201,7 +269,7 @@ func (p *Proxy) commitOrdered(t *Tx, req certifier.Request) error {
 	p.mu.Unlock()
 	remotes, err := p.decodeRemotes(resp.Remote, basis)
 	if err != nil {
-		p.seq.exit(resp.ReplicaSeq)
+		p.seq.exit(gen, resp.ReplicaSeq)
 		t.inner.Abort()
 		return err
 	}
@@ -227,7 +295,7 @@ func (p *Proxy) commitOrdered(t *Tx, req certifier.Request) error {
 			st.RemoteChunks += int64(len(chunks))
 		})
 	}
-	p.seq.exit(resp.ReplicaSeq)
+	p.seq.exit(gen, resp.ReplicaSeq)
 
 	// Launch chunk applications concurrently.
 	for _, c := range chunks {
@@ -252,6 +320,7 @@ func (p *Proxy) commitOrdered(t *Tx, req certifier.Request) error {
 			return fmt.Errorf("proxy: local commit failed (%v) and soft recovery failed: %w", err, err2)
 		}
 	}
+	t.commitVersion = resp.CommitVersion
 	p.addStat(func(st *Stats) { st.Commits++ })
 	return nil
 }
@@ -380,6 +449,74 @@ func (p *Proxy) applyLocalByWriteset(t *Tx, commitVersion uint64) {
 	p.addStat(func(st *Stats) { st.Commits++ })
 }
 
+// finishDetached resolves a certification response whose client
+// abandoned the commit (context cancellation mid-round-trip): it takes
+// the response's slot in the replica sequence, applies the grouped
+// remote writesets, and — if the certifier committed the transaction —
+// re-applies the local writeset from its encoded form, exactly like
+// the soft-recovery path. Serial labeled application is used in every
+// mode; this is the degraded path, correctness over pipelining.
+func (p *Proxy) finishDetached(resp certifier.Response, ws *core.Writeset) {
+	gen, err := p.enterSeq(resp.SeqEpoch, resp.ReplicaSeq)
+	if err != nil {
+		p.handleSeqFailure(err, gen, resp.ReplicaSeq)
+		if resp.Committed {
+			if err := p.applyBatchWithRecovery(ws, resp.CommitVersion-1, resp.CommitVersion, false); err != nil {
+				p.Resync()
+				return
+			}
+			p.cfg.Store.SetAnnounced(resp.CommitVersion)
+			p.advanceRV(resp.CommitVersion)
+			p.addStat(func(st *Stats) { st.Commits++ })
+		} else {
+			p.addStat(func(st *Stats) { st.CertAborts++ })
+		}
+		return
+	}
+	defer p.seq.exit(gen, resp.ReplicaSeq)
+
+	p.mu.Lock()
+	basis := p.rvPlanned
+	p.mu.Unlock()
+	remotes, err := p.decodeRemotes(resp.Remote, basis)
+	if err != nil {
+		// Nobody observes a detached failure: resync (IncludeOwn) or
+		// this replica permanently loses the response's writesets.
+		p.Resync()
+		return
+	}
+	maxRemote := basis
+	if len(remotes) > 0 {
+		merged := &core.Writeset{}
+		for _, r := range remotes {
+			merged.Merge(r.ws)
+			if r.version > maxRemote {
+				maxRemote = r.version
+			}
+		}
+		if err := p.applyBatchWithRecovery(merged, basis, maxRemote, false); err != nil {
+			p.Resync()
+			return
+		}
+		p.recordRemotes(remotes)
+		p.addStat(func(st *Stats) {
+			st.RemoteApplied += int64(len(remotes))
+			st.RemoteChunks++
+		})
+	}
+	if !resp.Committed {
+		p.advanceRV(maxRemote)
+		p.addStat(func(st *Stats) { st.CertAborts++ })
+		return
+	}
+	if err := p.applyBatchWithRecovery(ws, maxRemote, resp.CommitVersion, false); err != nil {
+		p.Resync()
+		return
+	}
+	p.advanceRV(resp.CommitVersion)
+	p.addStat(func(st *Stats) { st.Commits++ })
+}
+
 // SetReplicaVersion initializes the planning cursor after recovery
 // (the database state already covers versions up to v).
 func (p *Proxy) SetReplicaVersion(v uint64) { p.advanceRV(v) }
@@ -403,11 +540,19 @@ func (p *Proxy) addStat(f func(*Stats)) {
 // responses after certifier failover): declare the gap lost, pull
 // everything from the certifier and apply it serially — always safe
 // because writesets carry absolute values.
-func (p *Proxy) handleSeqFailure(cause error, seq uint64) {
+func (p *Proxy) handleSeqFailure(cause error, gen, seq uint64) {
 	if errors.Is(cause, errStaleSeq) {
-		return // our slot was skipped by a resync; state already covers us
+		return // slot skipped by a resync; that resync already applied the state
 	}
-	p.seq.skipTo(seq + 1)
+	if errors.Is(cause, errEpochReset) {
+		// The response's remote writesets belong to a superseded
+		// numbering and nothing else will apply them: pull the gap from
+		// the new leader before the caller applies its own writeset and
+		// announces past the hole.
+		p.Resync()
+		return
+	}
+	p.seq.skipTo(gen, seq+1)
 	p.Resync()
 }
 
@@ -449,12 +594,13 @@ func (p *Proxy) Resync() error {
 }
 
 // applyResponse is the sequenced application path shared by PullOnce.
-func (p *Proxy) applyResponse(seq uint64, remote []certifier.RemoteWS, committed bool, commitVersion uint64, _ *Tx) error {
-	if err := p.seq.enter(seq, p.cfg.SeqTimeout); err != nil {
-		p.handleSeqFailure(err, seq)
+func (p *Proxy) applyResponse(epoch, seq uint64, remote []certifier.RemoteWS) error {
+	gen, err := p.enterSeq(epoch, seq)
+	if err != nil {
+		p.handleSeqFailure(err, gen, seq)
 		return nil
 	}
-	defer p.seq.exit(seq)
+	defer p.seq.exit(gen, seq)
 	p.mu.Lock()
 	basis := p.rvPlanned
 	p.mu.Unlock()

@@ -24,6 +24,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -110,12 +111,12 @@ type Config struct {
 type Proxy struct {
 	cfg Config
 
-	mu        sync.Mutex
-	rvPlanned uint64 // highest global version scheduled for application
+	mu         sync.Mutex
+	rvPlanned  uint64 // highest global version scheduled for application
 	lastRemote time.Time
 	committing map[uint64]struct{} // store tx ids in their commit phase
-	stats     Stats
-	closed    bool
+	stats      Stats
+	closed     bool
 
 	seq *sequencer
 
@@ -194,8 +195,37 @@ type Tx struct {
 	p     *Proxy
 	inner *mvstore.Tx
 	start uint64
-	done  bool
+	// observed is the announced version sampled *after* the snapshot
+	// was taken: an upper bound on everything the snapshot can expose.
+	// The conservative start label is what certification wants, but a
+	// session's causal token must cover the snapshot's actual content —
+	// a commit announced between the two samples is visible in the
+	// snapshot yet above start.
+	observed uint64
+	done     bool
+	// commitVersion is the transaction's position in the global commit
+	// order, recorded on a successful commit. Read-only transactions
+	// record their observed version: the causal token of a session that
+	// only read must still cover everything the snapshot exposed.
+	commitVersion uint64
 }
+
+// SnapshotVersion returns the replica version the transaction's
+// snapshot was labeled with at BEGIN.
+func (t *Tx) SnapshotVersion() uint64 { return t.start }
+
+// ObservedVersion returns the version ceiling of the transaction's
+// snapshot — the announced version sampled just after the snapshot was
+// taken. Sessions use it to advance their causal token on reads and
+// aborts: it covers everything the snapshot exposed, at worst
+// over-approximating (which only lengthens a later causal wait).
+func (t *Tx) ObservedVersion() uint64 { return t.observed }
+
+// CommitVersion returns the global version assigned to the
+// transaction by certification (its snapshot version for read-only
+// transactions); zero until Commit succeeds. Sessions use it as the
+// causal token for read-your-writes routing.
+func (t *Tx) CommitVersion() uint64 { return t.commitVersion }
 
 // Begin intercepts BEGIN: the transaction receives the latest local
 // snapshot, labeled with the replica version (sampled *before* the
@@ -213,7 +243,7 @@ func (p *Proxy) Begin() (*Tx, error) {
 	if err != nil {
 		return nil, err
 	}
-	tx := &Tx{p: p, inner: inner, start: start}
+	tx := &Tx{p: p, inner: inner, start: start, observed: p.cfg.Store.AnnouncedVersion()}
 	if p.cfg.EagerPreCert {
 		inner.SetWriteHook(p.preCertHook(inner))
 	}
@@ -266,20 +296,40 @@ func (t *Tx) Abort() error {
 	return t.inner.Abort()
 }
 
-// Commit intercepts COMMIT (paper §6.2 step C): read-only transactions
-// commit immediately; update transactions go through certification and
-// the mode's commit strategy.
-func (t *Tx) Commit() error {
+// Commit intercepts COMMIT with background context.
+//
+// Deprecated: use CommitCtx, which supports cancellation.
+func (t *Tx) Commit() error { return t.CommitCtx(context.Background()) }
+
+// CommitCtx intercepts COMMIT (paper §6.2 step C): read-only
+// transactions commit immediately; update transactions go through
+// certification and the mode's commit strategy.
+//
+// Cancellation semantics: ctx is honored before and during the
+// certification round trip. If ctx expires while certification is in
+// flight, CommitCtx aborts the local handle and returns ctx.Err(),
+// but — as with any distributed commit — the certifier may still have
+// committed the transaction; the proxy then finishes applying it in
+// the background so the replica sequence stays intact, and the caller
+// must treat the outcome as unknown. Once the certifier's decision has
+// arrived the remaining local work completes regardless of ctx (it is
+// bounded by the proxy's own timeouts).
+func (t *Tx) CommitCtx(ctx context.Context) error {
 	if t.done {
 		return mvstore.ErrTxDone
 	}
 	t.done = true
 	p := t.p
+	if err := ctx.Err(); err != nil {
+		t.inner.Abort()
+		return err
+	}
 	ws := t.inner.Writeset()
 	if ws.Empty() {
 		if err := t.inner.Commit(); err != nil {
 			return err
 		}
+		t.commitVersion = t.observed
 		p.mu.Lock()
 		p.stats.ReadOnlyCommits++
 		p.mu.Unlock()
@@ -308,12 +358,65 @@ func (t *Tx) Commit() error {
 
 	switch p.cfg.Mode {
 	case Base, TashkentMW:
-		return p.commitSerial(t, req)
+		return p.commitSerial(ctx, t, req)
 	case TashkentAPI:
-		return p.commitOrdered(t, req)
+		return p.commitOrdered(ctx, t, req)
 	default:
 		t.inner.Abort()
 		return fmt.Errorf("proxy: invalid mode %d", p.cfg.Mode)
+	}
+}
+
+// certify runs the certification round trip, honoring ctx. On
+// cancellation the local handle is aborted and the eventual response —
+// which may carry a commit decision — is resolved by a detached
+// finisher so no sequence gap or lost writeset results.
+func (p *Proxy) certify(ctx context.Context, t *Tx, req certifier.Request) (certifier.Response, error) {
+	if ctx.Done() == nil {
+		resp, err := p.cfg.Cert.Certify(req)
+		if err != nil {
+			t.inner.Abort()
+			return resp, fmt.Errorf("proxy: certification: %w", err)
+		}
+		return resp, nil
+	}
+	type outcome struct {
+		resp certifier.Response
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		resp, err := p.cfg.Cert.Certify(req)
+		ch <- outcome{resp, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.inner.Abort()
+			return o.resp, fmt.Errorf("proxy: certification: %w", o.err)
+		}
+		return o.resp, nil
+	case <-ctx.Done():
+		ws := req.MustWriteset()
+		t.inner.Abort()
+		// Register the finisher under p.mu so it cannot race Close's
+		// wg.Wait (wg.Add concurrent with Wait is WaitGroup misuse).
+		// After Close nobody may touch the store, so drop the decision.
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return certifier.Response{}, ctx.Err()
+		}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			o := <-ch
+			if o.err == nil {
+				p.finishDetached(o.resp, ws)
+			}
+		}()
+		return certifier.Response{}, ctx.Err()
 	}
 }
 
@@ -475,5 +578,5 @@ func (p *Proxy) PullOnce() error {
 	p.mu.Lock()
 	p.stats.StalenessPulls++
 	p.mu.Unlock()
-	return p.applyResponse(resp.ReplicaSeq, resp.Remote, false, 0, nil)
+	return p.applyResponse(resp.SeqEpoch, resp.ReplicaSeq, resp.Remote)
 }

@@ -153,9 +153,9 @@ func waitConverged(t *testing.T, r *rig, v uint64) {
 	t.Fatal("replicas failed to converge")
 }
 
-func TestCommitAndPropagateBase(t *testing.T)  { testCommitAndPropagate(t, Base) }
-func TestCommitAndPropagateMW(t *testing.T)    { testCommitAndPropagate(t, TashkentMW) }
-func TestCommitAndPropagateAPI(t *testing.T)   { testCommitAndPropagate(t, TashkentAPI) }
+func TestCommitAndPropagateBase(t *testing.T) { testCommitAndPropagate(t, Base) }
+func TestCommitAndPropagateMW(t *testing.T)   { testCommitAndPropagate(t, TashkentMW) }
+func TestCommitAndPropagateAPI(t *testing.T)  { testCommitAndPropagate(t, TashkentAPI) }
 
 func testConflictAborts(t *testing.T, mode Mode) {
 	r := newRig(t, 2, mode, nil)
@@ -519,22 +519,25 @@ func TestSequencerAnchorsToFirstResponse(t *testing.T) {
 	s := newSequencer()
 	// A fresh (or recovered) proxy anchors to whatever sequence number
 	// it sees first — the certifier's numbering survives restarts.
-	if err := s.enter(41, time.Second); err != nil {
+	gen, err := s.enter(0, 41, time.Second)
+	if err != nil {
 		t.Fatalf("anchor enter: %v", err)
 	}
-	s.exit(41)
-	if err := s.enter(42, time.Second); err != nil {
+	s.exit(gen, 41)
+	gen, err = s.enter(0, 42, time.Second)
+	if err != nil {
 		t.Fatalf("post-anchor enter: %v", err)
 	}
-	s.exit(42)
+	s.exit(gen, 42)
 }
 
 func TestSequencerOrdersEntries(t *testing.T) {
 	s := newSequencer()
-	if err := s.enter(1, time.Second); err != nil { // anchor at 1
+	gen, err := s.enter(0, 1, time.Second) // anchor at 1
+	if err != nil {
 		t.Fatal(err)
 	}
-	s.exit(1)
+	s.exit(gen, 1)
 	var mu sync.Mutex
 	var order []uint64
 	var wg sync.WaitGroup
@@ -543,14 +546,15 @@ func TestSequencerOrdersEntries(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := s.enter(seq, time.Second); err != nil {
+			gen, err := s.enter(0, seq, time.Second)
+			if err != nil {
 				t.Errorf("enter(%d): %v", seq, err)
 				return
 			}
 			mu.Lock()
 			order = append(order, seq)
 			mu.Unlock()
-			s.exit(seq)
+			s.exit(gen, seq)
 		}()
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -562,21 +566,93 @@ func TestSequencerOrdersEntries(t *testing.T) {
 
 func TestSequencerTimeoutAndStale(t *testing.T) {
 	s := newSequencer()
-	if err := s.enter(1, time.Second); err != nil { // anchor
+	gen, err := s.enter(0, 1, time.Second) // anchor
+	if err != nil {
 		t.Fatal(err)
 	}
-	s.exit(1)
-	if err := s.enter(5, 30*time.Millisecond); !errors.Is(err, errSeqTimeout) {
+	s.exit(gen, 1)
+	if gen, err = s.enter(0, 5, 30*time.Millisecond); !errors.Is(err, errSeqTimeout) {
 		t.Errorf("gap enter err = %v", err)
 	}
-	s.skipTo(6)
-	if err := s.enter(5, 30*time.Millisecond); !errors.Is(err, errStaleSeq) {
+	s.skipTo(gen, 6)
+	if _, err := s.enter(0, 5, 30*time.Millisecond); !errors.Is(err, errStaleSeq) {
 		t.Errorf("stale enter err = %v", err)
 	}
-	if err := s.enter(6, time.Second); err != nil {
+	gen, err = s.enter(0, 6, time.Second)
+	if err != nil {
 		t.Errorf("enter(6): %v", err)
 	}
-	s.exit(6)
+	s.exit(gen, 6)
+}
+
+func TestSequencerEpochReset(t *testing.T) {
+	s := newSequencer()
+	gen, err := s.enter(1, 5, time.Second) // epoch 1 anchors at 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.exit(gen, 5) // next=6
+
+	// Park a waiter on the old epoch's numbering.
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.enter(1, 9, 5*time.Second)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	// A new leadership term re-anchors and invalidates the waiter.
+	gen2, err := s.enter(2, 1, time.Second)
+	if err != nil {
+		t.Fatalf("new-epoch enter: %v", err)
+	}
+	s.exit(gen2, 1)
+	if err := <-done; !errors.Is(err, errEpochReset) {
+		t.Errorf("old-epoch waiter: want errEpochReset, got %v", err)
+	}
+	// A straggler stamped by the deposed leader is rejected outright —
+	// even though its seq number would fit the new cursor.
+	if _, err := s.enter(1, 2, time.Second); !errors.Is(err, errEpochReset) {
+		t.Errorf("deposed-leader response: want errEpochReset, got %v", err)
+	}
+	// The new epoch keeps sequencing normally.
+	gen2, err = s.enter(2, 2, time.Second)
+	if err != nil {
+		t.Fatalf("enter(epoch 2, seq 2): %v", err)
+	}
+	s.exit(gen2, 2)
+}
+
+func TestSequencerEpochResetDrainsActiveHolder(t *testing.T) {
+	s := newSequencer()
+	gen, err := s.enter(1, 5, time.Second) // holder mid-application
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	go func() {
+		gen2, err := s.enter(2, 1, 5*time.Second)
+		if err != nil {
+			t.Errorf("new-epoch enter: %v", err)
+		}
+		close(entered)
+		s.exit(gen2, 1)
+	}()
+
+	// The new epoch must not start applying while the old epoch's
+	// holder is still inside its critical section.
+	select {
+	case <-entered:
+		t.Fatal("new-epoch enter proceeded while old-epoch holder was active")
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.exit(gen, 5)
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("new-epoch enter did not proceed after the holder drained")
+	}
 }
 
 func TestModeString(t *testing.T) {

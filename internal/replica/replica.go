@@ -302,8 +302,8 @@ func (r *Replica) Close() {
 // directly against one store, which group-commits concurrent sessions
 // exactly like a production database.
 type Standalone struct {
-	store   *mvstore.Store
-	logDisk *simdisk.Disk
+	store    *mvstore.Store
+	logDisk  *simdisk.Disk
 	dataDisk *simdisk.Disk
 }
 

@@ -1,0 +1,259 @@
+// Package router implements client-side replica selection for the
+// session API. The paper's system places a load balancer in front of
+// the replicas (§3, Figure 2) — clients never address a replica
+// directly — and this package is that component's in-process
+// equivalent: a Balancer tracks per-replica in-flight transactions and
+// delegates each BEGIN to a pluggable Policy.
+//
+// Three policies are provided:
+//
+//   - RoundRobin — uniform rotation, the paper's baseline balancer.
+//   - LeastInFlight — picks the replica with the fewest open
+//     transactions, absorbing skew from slow or overloaded replicas.
+//   - ReadWriteSplit — read-only transactions fan out across all
+//     replicas while updates stick to a smaller writer set, shrinking
+//     the certification conflict window (updates from fewer replicas
+//     means fewer concurrent writesets to certify against).
+package router
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// View is the cluster snapshot a Policy sees when picking a replica.
+type View struct {
+	// N is the number of replicas (indices 0..N-1).
+	N int
+	// ReadOnly classifies the transaction about to begin.
+	ReadOnly bool
+	// InFlight reports the current open-transaction count per replica.
+	InFlight func(i int) int64
+	// Excluded marks replicas the caller wants avoided (crashed or
+	// recently failed); nil means none.
+	Excluded []bool
+}
+
+// excluded reports whether replica i is to be avoided.
+func (v *View) excluded(i int) bool {
+	return v.Excluded != nil && i < len(v.Excluded) && v.Excluded[i]
+}
+
+// Policy picks the replica a transaction begins on.
+type Policy interface {
+	// Name identifies the policy (stable, flag-friendly).
+	Name() string
+	// Pick returns a replica index in [0, v.N). Implementations must
+	// honor v.Excluded when at least one replica remains; with every
+	// replica excluded any index may be returned.
+	Pick(v View) int
+}
+
+// Counters is the per-replica open-transaction accounting. One
+// instance belongs to the cluster — every session's balancer shares
+// it — so a load-sensitive policy observes the replicas' global load,
+// not just the transactions of its own session.
+type Counters struct {
+	inflight []atomic.Int64
+}
+
+// NewCounters builds a counter set over n replicas.
+func NewCounters(n int) *Counters {
+	if n < 1 {
+		n = 1
+	}
+	return &Counters{inflight: make([]atomic.Int64, n)}
+}
+
+// N returns the replica count.
+func (c *Counters) N() int { return len(c.inflight) }
+
+// Get returns the current open-transaction count at replica i.
+func (c *Counters) Get(i int) int64 { return c.inflight[i].Load() }
+
+// Balancer fronts a set of replicas for one session: it delegates
+// selection to the policy and charges the shared per-replica in-flight
+// counters. It is safe for concurrent use.
+type Balancer struct {
+	policy   Policy
+	counters *Counters
+}
+
+// NewBalancer builds a balancer with its own private counter set —
+// for single-session use and tests. A nil policy defaults to
+// round-robin.
+func NewBalancer(n int, p Policy) *Balancer {
+	return NewSharedBalancer(NewCounters(n), p)
+}
+
+// NewSharedBalancer builds a balancer over an existing counter set so
+// that many sessions' policies see the same per-replica load.
+func NewSharedBalancer(c *Counters, p Policy) *Balancer {
+	if p == nil {
+		p = NewRoundRobin()
+	}
+	return &Balancer{policy: p, counters: c}
+}
+
+// N returns the replica count.
+func (b *Balancer) N() int { return b.counters.N() }
+
+// Policy returns the active policy.
+func (b *Balancer) Policy() Policy { return b.policy }
+
+// InFlight returns the current open-transaction count at replica i.
+func (b *Balancer) InFlight(i int) int64 { return b.counters.Get(i) }
+
+// Acquire picks a replica for one transaction and charges its
+// in-flight counter. The returned release must be called exactly once
+// when the transaction finishes (commit or abort); it is idempotence-
+// guarded by the caller, not here. excluded, if non-nil, marks
+// replicas to avoid.
+func (b *Balancer) Acquire(readOnly bool, excluded []bool) (int, func()) {
+	n := b.counters.N()
+	i := b.policy.Pick(View{
+		N:        n,
+		ReadOnly: readOnly,
+		InFlight: b.counters.Get,
+		Excluded: excluded,
+	})
+	if i < 0 || i >= n {
+		i = 0
+	}
+	b.counters.inflight[i].Add(1)
+	return i, func() { b.counters.inflight[i].Add(-1) }
+}
+
+// --- RoundRobin ---
+
+// roundRobin rotates uniformly over the replicas.
+type roundRobin struct {
+	next atomic.Uint64
+}
+
+// NewRoundRobin returns the uniform rotation policy.
+func NewRoundRobin() Policy { return &roundRobin{} }
+
+// Name implements Policy.
+func (*roundRobin) Name() string { return "roundrobin" }
+
+// Pick implements Policy.
+func (p *roundRobin) Pick(v View) int {
+	return pickRotating(&p.next, v.N, 0, &v)
+}
+
+// pickRotating rotates a shared cursor over replicas [base, base+n),
+// skipping excluded ones.
+func pickRotating(cursor *atomic.Uint64, n, base int, v *View) int {
+	if n <= 0 {
+		return 0
+	}
+	start := int(cursor.Add(1)-1) % n
+	for k := 0; k < n; k++ {
+		i := base + (start+k)%n
+		if !v.excluded(i) {
+			return i
+		}
+	}
+	return base + start // everything excluded: let the caller fail fast
+}
+
+// --- LeastInFlight ---
+
+// leastInFlight picks the replica with the fewest open transactions,
+// breaking ties by rotation so equal replicas share load.
+type leastInFlight struct {
+	tie atomic.Uint64
+}
+
+// NewLeastInFlight returns the least-loaded policy.
+func NewLeastInFlight() Policy { return &leastInFlight{} }
+
+// Name implements Policy.
+func (*leastInFlight) Name() string { return "leastinflight" }
+
+// Pick implements Policy.
+func (p *leastInFlight) Pick(v View) int {
+	if v.N <= 0 {
+		return 0
+	}
+	start := int(p.tie.Add(1)-1) % v.N
+	best, bestLoad := -1, int64(0)
+	for k := 0; k < v.N; k++ {
+		i := (start + k) % v.N
+		if v.excluded(i) {
+			continue
+		}
+		load := v.InFlight(i)
+		if best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best < 0 {
+		return start
+	}
+	return best
+}
+
+// --- ReadWriteSplit ---
+
+// readWriteSplit sends read-only transactions to every replica but
+// confines updates to the first Writers replicas. Concentrating the
+// update load shrinks the set of replicas whose in-flight writesets
+// can conflict, while reads — which never certify under GSI — exploit
+// the full cluster.
+type readWriteSplit struct {
+	writers   int
+	nextRead  atomic.Uint64
+	nextWrite atomic.Uint64
+}
+
+// NewReadWriteSplit returns the read/write splitting policy; updates
+// go to the first writers replicas (minimum 1; values above the
+// cluster size are clamped at pick time).
+func NewReadWriteSplit(writers int) Policy {
+	if writers < 1 {
+		writers = 1
+	}
+	return &readWriteSplit{writers: writers}
+}
+
+// Name implements Policy.
+func (*readWriteSplit) Name() string { return "rwsplit" }
+
+// Pick implements Policy.
+func (p *readWriteSplit) Pick(v View) int {
+	if v.ReadOnly {
+		return pickRotating(&p.nextRead, v.N, 0, &v)
+	}
+	w := p.writers
+	if w > v.N {
+		w = v.N
+	}
+	i := pickRotating(&p.nextWrite, w, 0, &v)
+	if v.excluded(i) {
+		// The whole writer set is down. Any replica can execute
+		// updates under GSI — the split is an optimization, not a
+		// requirement — so degrade to the full cluster rather than
+		// violate the contract of honoring Excluded while healthy
+		// replicas remain.
+		return pickRotating(&p.nextWrite, v.N, 0, &v)
+	}
+	return i
+}
+
+// Parse resolves a policy by flag name: "roundrobin", "leastinflight",
+// or "rwsplit" (writers sizes the rwsplit writer set and is ignored by
+// the others).
+func Parse(name string, writers int) (Policy, error) {
+	switch name {
+	case "roundrobin", "rr", "":
+		return NewRoundRobin(), nil
+	case "leastinflight", "lif":
+		return NewLeastInFlight(), nil
+	case "rwsplit", "rw":
+		return NewReadWriteSplit(writers), nil
+	default:
+		return nil, fmt.Errorf("router: unknown policy %q (want roundrobin|leastinflight|rwsplit)", name)
+	}
+}

@@ -1,0 +1,203 @@
+package router
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRoundRobinDistribution(t *testing.T) {
+	b := NewBalancer(4, NewRoundRobin())
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		idx, release := b.Acquire(false, nil)
+		counts[idx]++
+		release()
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("replica %d got %d picks, want 100", i, c)
+		}
+	}
+}
+
+func TestRoundRobinSkipsExcluded(t *testing.T) {
+	b := NewBalancer(3, NewRoundRobin())
+	excluded := []bool{false, true, false}
+	for i := 0; i < 30; i++ {
+		idx, release := b.Acquire(false, excluded)
+		release()
+		if idx == 1 {
+			t.Fatal("picked an excluded replica")
+		}
+	}
+}
+
+func TestLeastInFlightUnderSkew(t *testing.T) {
+	b := NewBalancer(3, NewLeastInFlight())
+
+	// Pin load on replicas 0 and 1: they hold open transactions.
+	var releases []func()
+	for i := 0; i < 5; i++ {
+		idx, release := b.Acquire(false, nil)
+		releases = append(releases, release)
+		_ = idx
+	}
+	// Counters after 5 acquires: each pick went to the then-least
+	// loaded, so loads are near-balanced; now hold 10 more on whatever
+	// is picked and verify new picks flow to the minimum.
+	for i := 0; i < 10; i++ {
+		_, release := b.Acquire(false, nil)
+		releases = append(releases, release)
+	}
+	min := b.InFlight(0)
+	for i := 1; i < 3; i++ {
+		if l := b.InFlight(i); l < min {
+			min = l
+		}
+	}
+	idx, release := b.Acquire(false, nil)
+	defer release()
+	if got := b.InFlight(idx) - 1; got != min {
+		t.Errorf("least-in-flight picked replica with load %d, min was %d", got, min)
+	}
+	for _, r := range releases {
+		r()
+	}
+}
+
+func TestLeastInFlightPrefersIdleReplica(t *testing.T) {
+	b := NewBalancer(3, NewLeastInFlight())
+	// Saturate replicas 0 and 1 artificially.
+	b.counters.inflight[0].Store(50)
+	b.counters.inflight[1].Store(50)
+	for i := 0; i < 20; i++ {
+		idx, release := b.Acquire(false, nil)
+		if idx != 2 {
+			t.Fatalf("pick %d went to loaded replica %d", i, idx)
+		}
+		release() // replica 2 returns to 0 in-flight: still the minimum
+	}
+}
+
+func TestReadWriteSplit(t *testing.T) {
+	b := NewBalancer(4, NewReadWriteSplit(2))
+	readCounts := make([]int, 4)
+	writeCounts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		idx, release := b.Acquire(true, nil)
+		readCounts[idx]++
+		release()
+		idx, release = b.Acquire(false, nil)
+		writeCounts[idx]++
+		release()
+	}
+	for i, c := range readCounts {
+		if c != 100 {
+			t.Errorf("reads: replica %d got %d, want 100 (fan out over all)", i, c)
+		}
+	}
+	for i, c := range writeCounts {
+		want := 0
+		if i < 2 {
+			want = 200
+		}
+		if c != want {
+			t.Errorf("writes: replica %d got %d, want %d (writer set = first 2)", i, c, want)
+		}
+	}
+}
+
+func TestReadWriteSplitClampsWriters(t *testing.T) {
+	b := NewBalancer(2, NewReadWriteSplit(8))
+	seen := make(map[int]bool)
+	for i := 0; i < 10; i++ {
+		idx, release := b.Acquire(false, nil)
+		seen[idx] = true
+		release()
+	}
+	if len(seen) != 2 {
+		t.Errorf("writer set should clamp to cluster size 2, saw %v", seen)
+	}
+}
+
+func TestReadWriteSplitFallsBackWhenWritersDown(t *testing.T) {
+	b := NewBalancer(4, NewReadWriteSplit(2))
+	// Writer set {0,1} entirely excluded: updates must degrade to the
+	// healthy replicas instead of failing while the cluster lives.
+	writersDown := []bool{true, true, false, false}
+	seen := make(map[int]bool)
+	for i := 0; i < 20; i++ {
+		idx, release := b.Acquire(false, writersDown)
+		release()
+		if idx < 2 {
+			t.Fatalf("write routed to excluded writer %d", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("fallback should rotate over replicas 2,3; saw %v", seen)
+	}
+}
+
+func TestSharedCountersAcrossBalancers(t *testing.T) {
+	c := NewCounters(3)
+	a := NewSharedBalancer(c, NewLeastInFlight())
+	b := NewSharedBalancer(c, NewLeastInFlight())
+
+	// Load replica 0 through balancer a only (exclude the others).
+	onlyZero := []bool{false, true, true}
+	for i := 0; i < 2; i++ {
+		idx, _ := a.Acquire(false, onlyZero)
+		if idx != 0 {
+			t.Fatalf("forced acquire picked %d, want 0", idx)
+		}
+	}
+	if got := b.InFlight(0); got != 2 {
+		t.Fatalf("balancer b sees in-flight(0)=%d, want 2 (counters not shared)", got)
+	}
+	// A different session's least-in-flight policy must route around
+	// the load it did not create itself.
+	for i := 0; i < 4; i++ {
+		idx, release := b.Acquire(false, nil)
+		if idx == 0 {
+			t.Fatalf("least-in-flight via shared counters picked loaded replica 0")
+		}
+		release()
+	}
+}
+
+func TestBalancerConcurrentAcquire(t *testing.T) {
+	b := NewBalancer(4, NewLeastInFlight())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, release := b.Acquire(i%3 == 0, nil)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < b.N(); i++ {
+		if l := b.InFlight(i); l != 0 {
+			t.Errorf("replica %d in-flight = %d after all releases, want 0", i, l)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, name := range []string{"roundrobin", "leastinflight", "rwsplit"} {
+		p, err := Parse(name, 2)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("Parse(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := Parse("bogus", 1); err == nil {
+		t.Error("Parse(bogus) should fail")
+	}
+}

@@ -283,9 +283,9 @@ func writeResponse(w *bufio.Writer, resp []byte, herr error) error {
 }
 
 type tcpClient struct {
-	addr string
-	mu   sync.Mutex
-	idle []*tcpConn
+	addr   string
+	mu     sync.Mutex
+	idle   []*tcpConn
 	closed bool
 }
 

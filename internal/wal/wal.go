@@ -57,17 +57,17 @@ type appendReq struct {
 
 // WAL is a single log file. It is safe for concurrent use.
 type WAL struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	disk    *simdisk.Disk
-	mode    Mode
-	buf     []byte // full appended image, stable prefix + volatile suffix
-	stable  int    // bytes known flushed to media
-	records int    // total records appended
+	mu            sync.Mutex
+	cond          *sync.Cond
+	disk          *simdisk.Disk
+	mode          Mode
+	buf           []byte // full appended image, stable prefix + volatile suffix
+	stable        int    // bytes known flushed to media
+	records       int    // total records appended
 	stableRecords int
-	pending []appendReq
-	closed  bool
-	writerDone chan struct{}
+	pending       []appendReq
+	closed        bool
+	writerDone    chan struct{}
 }
 
 // New creates a log on the given disk channel and starts its writer

@@ -15,6 +15,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -27,10 +28,27 @@ import (
 	"tashkent/internal/proxy"
 )
 
-// Tx is the client-visible transaction interface; *proxy.Tx and
-// *mvstore.Tx both satisfy it, so workloads run unchanged against a
-// replicated cluster or a standalone database.
+// Tx is the client-visible transaction interface, matching the public
+// session API's transactions (context-aware commit). Storage-layer
+// handles with context-free commits adapt through Plain.
 type Tx interface {
+	Read(table, key string) (map[string][]byte, bool, error)
+	ReadCol(table, key, col string) ([]byte, bool, error)
+	Insert(table, key string, cols map[string][]byte) error
+	Update(table, key string, cols map[string][]byte) error
+	Delete(table, key string) error
+	Commit(ctx context.Context) error
+	Abort() error
+}
+
+// BeginFunc opens one transaction at some endpoint. readOnly passes
+// the workload's classification of the upcoming transaction so
+// session routing policies can split reads from updates.
+type BeginFunc func(ctx context.Context, readOnly bool) (Tx, error)
+
+// PlainTx is the context-free transaction shape of the storage and
+// proxy layers (*mvstore.Tx, *proxy.Tx).
+type PlainTx interface {
 	Read(table, key string) (map[string][]byte, bool, error)
 	ReadCol(table, key, col string) ([]byte, bool, error)
 	Insert(table, key string, cols map[string][]byte) error
@@ -40,15 +58,39 @@ type Tx interface {
 	Abort() error
 }
 
-// BeginFunc opens one transaction at some endpoint.
-type BeginFunc func() (Tx, error)
+// plainTx adapts a PlainTx to the context-aware Tx interface.
+type plainTx struct{ PlainTx }
+
+// Commit honors already-expired contexts, then delegates.
+func (t plainTx) Commit(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		t.PlainTx.Abort()
+		return err
+	}
+	return t.PlainTx.Commit()
+}
+
+// Plain adapts a context-free begin (standalone store, pinned replica)
+// to a BeginFunc, ignoring the routing hint.
+func Plain(begin func() (PlainTx, error)) BeginFunc {
+	return func(ctx context.Context, _ bool) (Tx, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		inner, err := begin()
+		if err != nil {
+			return nil, err
+		}
+		return plainTx{inner}, nil
+	}
+}
 
 // Generator produces the transactions of one benchmark.
 type Generator interface {
 	// Name identifies the benchmark.
 	Name() string
 	// Populate loads the initial database through the given endpoint.
-	Populate(begin BeginFunc) error
+	Populate(ctx context.Context, begin BeginFunc) error
 	// Next returns the body of the next transaction for a client.
 	// readOnly classifies the transaction for response-time splits.
 	Next(r *rand.Rand, replicaID, clientID int) (run func(Tx) error, readOnly bool)
@@ -91,7 +133,7 @@ func (g *AllUpdates) rows() int {
 
 // Populate implements Generator. AllUpdates needs no preloaded rows:
 // updates create rows on first touch.
-func (*AllUpdates) Populate(BeginFunc) error { return nil }
+func (*AllUpdates) Populate(context.Context, BeginFunc) error { return nil }
 
 // Next implements Generator.
 func (g *AllUpdates) Next(r *rand.Rand, replicaID, clientID int) (func(Tx) error, bool) {
@@ -136,12 +178,12 @@ func (g *TPCB) dims() (b, t, a int) {
 func (*TPCB) Name() string { return "TPC-B" }
 
 // Populate implements Generator.
-func (g *TPCB) Populate(begin BeginFunc) error {
+func (g *TPCB) Populate(ctx context.Context, begin BeginFunc) error {
 	b, tl, acc := g.dims()
 	zero := []byte("00000000")
 	// Load in moderate batches to keep writesets bounded.
 	batch := func(load func(tx Tx) error) error {
-		tx, err := begin()
+		tx, err := begin(ctx, false)
 		if err != nil {
 			return err
 		}
@@ -149,7 +191,7 @@ func (g *TPCB) Populate(begin BeginFunc) error {
 			tx.Abort()
 			return err
 		}
-		return tx.Commit()
+		return tx.Commit(ctx)
 	}
 	for i := 0; i < b; i++ {
 		i := i
@@ -274,7 +316,7 @@ func (g *TPCW) cpu() int {
 func (*TPCW) Name() string { return "TPC-W" }
 
 // Populate implements Generator.
-func (g *TPCW) Populate(begin BeginFunc) error {
+func (g *TPCW) Populate(ctx context.Context, begin BeginFunc) error {
 	n := g.items()
 	desc := make([]byte, 160) // bookstore rows are comparatively fat
 	for lo := 0; lo < n; lo += 200 {
@@ -282,7 +324,7 @@ func (g *TPCW) Populate(begin BeginFunc) error {
 		if hi > n {
 			hi = n
 		}
-		tx, err := begin()
+		tx, err := begin(ctx, false)
 		if err != nil {
 			return err
 		}
@@ -295,7 +337,7 @@ func (g *TPCW) Populate(begin BeginFunc) error {
 				return err
 			}
 		}
-		if err := tx.Commit(); err != nil {
+		if err := tx.Commit(ctx); err != nil {
 			return err
 		}
 	}
@@ -403,10 +445,12 @@ func (r Result) AbortRate() float64 {
 	return float64(r.Aborted) / float64(total)
 }
 
-// Run drives the generator against one endpoint per replica with the
-// configured closed-loop clients and returns measured goodput and
-// response times. begins[i] opens transactions on replica i.
-func Run(gen Generator, begins []BeginFunc, cfg RunConfig) Result {
+// Run drives the generator against one endpoint per replica (or per
+// session, when routing is delegated) with the configured closed-loop
+// clients and returns measured goodput and response times. begins[i]
+// opens transactions for client group i; ctx cancellation stops all
+// clients early.
+func Run(ctx context.Context, gen Generator, begins []BeginFunc, cfg RunConfig) Result {
 	if cfg.ClientsPerReplica <= 0 {
 		cfg.ClientsPerReplica = 10
 	}
@@ -432,13 +476,16 @@ func Run(gen Generator, begins []BeginFunc, cfg RunConfig) Result {
 				begin := begins[rep]
 				for {
 					now := time.Now()
-					if now.After(deadline) {
+					if now.After(deadline) || ctx.Err() != nil {
 						return
 					}
 					run, readOnly := gen.Next(r, rep, cl)
 					start := time.Now()
-					tx, err := begin()
+					tx, err := begin(ctx, readOnly)
 					if err != nil {
+						if ctx.Err() != nil {
+							return
+						}
 						time.Sleep(time.Millisecond)
 						continue
 					}
@@ -446,7 +493,7 @@ func Run(gen Generator, begins []BeginFunc, cfg RunConfig) Result {
 						time.Sleep(cfg.ExecTime)
 					}
 					if err = run(tx); err == nil {
-						err = tx.Commit()
+						err = tx.Commit(ctx)
 					} else {
 						tx.Abort()
 					}
@@ -501,10 +548,11 @@ func Run(gen Generator, begins []BeginFunc, cfg RunConfig) Result {
 // the generator produces, measured against a scratch standalone store
 // — used by tests to pin the paper's 54/158/275-byte averages.
 func WritesetSize(gen Generator, samples int) (float64, error) {
+	ctx := context.Background()
 	st := mvstore.Open(mvstore.Config{})
 	defer st.Close()
-	begin := func() (Tx, error) { return st.Begin() }
-	if err := gen.Populate(begin); err != nil {
+	begin := Plain(func() (PlainTx, error) { return st.Begin() })
+	if err := gen.Populate(ctx, begin); err != nil {
 		return 0, err
 	}
 	r := rand.New(rand.NewSource(7))
@@ -515,7 +563,7 @@ func WritesetSize(gen Generator, samples int) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		if err := run(tx); err != nil {
+		if err := run(plainTx{tx}); err != nil {
 			tx.Abort()
 			if IsAbort(err) {
 				continue

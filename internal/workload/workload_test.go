@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -10,7 +11,7 @@ import (
 )
 
 func standaloneBegin(s *mvstore.Store) BeginFunc {
-	return func() (Tx, error) { return s.Begin() }
+	return Plain(func() (PlainTx, error) { return s.Begin() })
 }
 
 func TestAllUpdatesWritesetSize(t *testing.T) {
@@ -60,7 +61,7 @@ func TestAllUpdatesNoConflictsAcrossClients(t *testing.T) {
 				t.Fatal("AllUpdates produced a read-only txn")
 			}
 			tx, _ := s.Begin()
-			if err := run(tx); err != nil {
+			if err := run(plainTx{tx}); err != nil {
 				t.Fatal(err)
 			}
 			for _, op := range tx.Writeset().Ops {
@@ -82,7 +83,7 @@ func TestTPCBPopulateAndConflicts(t *testing.T) {
 	s := mvstore.Open(mvstore.Config{})
 	defer s.Close()
 	g := &TPCB{Branches: 2, TellersPerBranch: 2, AccountsPerBranch: 20}
-	if err := g.Populate(standaloneBegin(s)); err != nil {
+	if err := g.Populate(context.Background(), standaloneBegin(s)); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.RowCount("branches"); got != 2 {
@@ -99,7 +100,7 @@ func TestTPCBPopulateAndConflicts(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	run, _ := g.Next(r, 0, 0)
 	tx, _ := s.Begin()
-	if err := run(tx); err != nil {
+	if err := run(plainTx{tx}); err != nil {
 		t.Fatal(err)
 	}
 	touchedBranch := false
@@ -135,7 +136,7 @@ func TestRunClosedLoopStandalone(t *testing.T) {
 	s := mvstore.Open(mvstore.Config{})
 	defer s.Close()
 	g := &AllUpdates{}
-	res := Run(g, []BeginFunc{standaloneBegin(s)}, RunConfig{
+	res := Run(context.Background(), g, []BeginFunc{standaloneBegin(s)}, RunConfig{
 		ClientsPerReplica: 4,
 		Warmup:            20 * time.Millisecond,
 		Measure:           150 * time.Millisecond,
@@ -158,7 +159,7 @@ func TestRunClosedLoopStandalone(t *testing.T) {
 func TestRunMeasuresOnlyWindow(t *testing.T) {
 	s := mvstore.Open(mvstore.Config{})
 	defer s.Close()
-	res := Run(&AllUpdates{}, []BeginFunc{standaloneBegin(s)}, RunConfig{
+	res := Run(context.Background(), &AllUpdates{}, []BeginFunc{standaloneBegin(s)}, RunConfig{
 		ClientsPerReplica: 1,
 		Warmup:            50 * time.Millisecond,
 		Measure:           100 * time.Millisecond,
@@ -171,11 +172,11 @@ func TestRunMeasuresOnlyWindow(t *testing.T) {
 func TestTPCWRunSplitsReadAndUpdateRT(t *testing.T) {
 	s := mvstore.Open(mvstore.Config{})
 	g := &TPCW{Items: 100, CPUWork: 10}
-	if err := g.Populate(standaloneBegin(s)); err != nil {
+	if err := g.Populate(context.Background(), standaloneBegin(s)); err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	res := Run(g, []BeginFunc{standaloneBegin(s)}, RunConfig{
+	res := Run(context.Background(), g, []BeginFunc{standaloneBegin(s)}, RunConfig{
 		ClientsPerReplica: 4,
 		Warmup:            10 * time.Millisecond,
 		Measure:           200 * time.Millisecond,

@@ -1,0 +1,258 @@
+package tashkent_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tashkent"
+)
+
+// TestSessionReadYourWritesAcrossReplicas commits through a session
+// and immediately reads back on the next (round-robin) replica, under
+// a nonzero disk profile so replicas genuinely lag: the causal token
+// must make Begin wait until the chosen replica has the write.
+func TestSessionReadYourWritesAcrossReplicas(t *testing.T) {
+	db, err := tashkent.Start(tashkent.Config{
+		Mode:        tashkent.ModeTashkentMW,
+		Replicas:    3,
+		DiskProfile: tashkent.PaperDisks(16), // 500 µs fsyncs: real propagation delay
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	sess := db.Session() // round-robin: consecutive Begins rotate replicas
+	var lastToken uint64
+	crossReplica := 0
+	for round := 0; round < 6; round++ {
+		want := fmt.Sprintf("v%d", round)
+		wtx, err := sess.Begin(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wtx.Update("t", "k", map[string][]byte{"v": []byte(want)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := wtx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		rtx, err := sess.Begin(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rtx.Replica() != wtx.Replica() {
+			crossReplica++
+		}
+		got, ok, err := rtx.ReadCol("t", "k", "v")
+		if err != nil || !ok || string(got) != want {
+			t.Fatalf("round %d: read on replica %d after write on replica %d: got %q ok=%v err=%v, want %q",
+				round, rtx.Replica(), wtx.Replica(), got, ok, err, want)
+		}
+		rtx.Abort()
+
+		// Monotonic reads: the causal token never moves backwards.
+		if tok := sess.Token(); tok < lastToken {
+			t.Fatalf("round %d: token went backwards: %d -> %d", round, lastToken, tok)
+		} else {
+			lastToken = tok
+		}
+	}
+	if crossReplica == 0 {
+		t.Fatal("round-robin never placed read and write on different replicas")
+	}
+}
+
+// TestRunTxRetriesCertificationAborts injects certification aborts and
+// checks RunTx retries exactly maxRetries+1 times before giving up,
+// then succeeds in one attempt once the fault is cleared.
+func TestRunTxRetriesCertificationAborts(t *testing.T) {
+	db, err := tashkent.Start(tashkent.Config{Mode: tashkent.ModeTashkentMW, Replicas: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	db.Cluster().SetAbortRate(1.0)
+	sess := db.Session(
+		tashkent.WithMaxRetries(3),
+		tashkent.WithBackoff(time.Millisecond, 4*time.Millisecond),
+	)
+	attempts := 0
+	err = sess.RunTx(ctx, func(tx *tashkent.Tx) error {
+		attempts++
+		return tx.Update("t", "k", map[string][]byte{"v": []byte("x")})
+	})
+	if !errors.Is(err, tashkent.ErrAborted) {
+		t.Fatalf("want ErrAborted after exhausting retries, got %v", err)
+	}
+	if attempts != 4 {
+		t.Fatalf("want maxRetries+1 = 4 attempts, got %d", attempts)
+	}
+
+	db.Cluster().SetAbortRate(0)
+	attempts = 0
+	err = sess.RunTx(ctx, func(tx *tashkent.Tx) error {
+		attempts++
+		return tx.Update("t", "k", map[string][]byte{"v": []byte("y")})
+	})
+	if err != nil || attempts != 1 {
+		t.Fatalf("after clearing aborts: err=%v attempts=%d", err, attempts)
+	}
+}
+
+// TestRunTxHonorsContextCancellation: with every commit aborting and a
+// long backoff, RunTx must give up with the context's error as soon as
+// the deadline fires rather than burning through the retry budget.
+func TestRunTxHonorsContextCancellation(t *testing.T) {
+	db, err := tashkent.Start(tashkent.Config{Mode: tashkent.ModeTashkentMW, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Cluster().SetAbortRate(1.0)
+	sess := db.Session(
+		tashkent.WithMaxRetries(1000),
+		tashkent.WithBackoff(50*time.Millisecond, 50*time.Millisecond),
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	err = sess.RunTx(ctx, func(tx *tashkent.Tx) error {
+		return tx.Update("t", "k", map[string][]byte{"v": []byte("x")})
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestCommitHonorsCancelledContextAllModes: a commit handed an
+// already-cancelled context must return ctx.Err() in every commit
+// strategy, and the session must remain usable afterwards.
+func TestCommitHonorsCancelledContextAllModes(t *testing.T) {
+	for _, mode := range []tashkent.Mode{tashkent.ModeBase, tashkent.ModeTashkentMW, tashkent.ModeTashkentAPI} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			db, err := tashkent.Start(tashkent.Config{Mode: mode, Replicas: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			sess := db.Session()
+			tx, err := sess.Begin(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Update("t", "k", map[string][]byte{"v": []byte("x")}); err != nil {
+				t.Fatal(err)
+			}
+			cancelled, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := tx.Commit(cancelled); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Commit with cancelled ctx: want context.Canceled, got %v", err)
+			}
+
+			// The abort released the balancer slot; the session still works.
+			err = sess.RunTx(context.Background(), func(tx *tashkent.Tx) error {
+				return tx.Update("t", "k2", map[string][]byte{"v": []byte("y")})
+			})
+			if err != nil {
+				t.Fatalf("session unusable after cancelled commit: %v", err)
+			}
+		})
+	}
+}
+
+// TestRunTxPanicReleasesResources: a panic in fn must settle the
+// transaction on its way out — no leaked in-flight charge skewing
+// load-sensitive routing, no row locks held until the lock timeout.
+func TestRunTxPanicReleasesResources(t *testing.T) {
+	db, err := tashkent.Start(tashkent.Config{Mode: tashkent.ModeTashkentMW, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	sess := db.Session()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate out of RunTx")
+			}
+		}()
+		_ = sess.RunTx(ctx, func(tx *tashkent.Tx) error {
+			if err := tx.Update("t", "k", map[string][]byte{"v": []byte("x")}); err != nil {
+				return err
+			}
+			panic("application bug")
+		})
+	}()
+
+	// The write lock on "k" was released: another session's update on
+	// the same key commits immediately instead of hitting the lock
+	// timeout or a deadlock kill.
+	err = db.Session().RunTx(ctx, func(tx *tashkent.Tx) error {
+		return tx.Update("t", "k", map[string][]byte{"v": []byte("y")})
+	})
+	if err != nil {
+		t.Fatalf("update after panicked RunTx: %v", err)
+	}
+}
+
+// TestCommitAsyncPipelinesCommits opens several transactions on
+// disjoint keys in one session and commits them concurrently —
+// ModeTashkentAPI's ordered-concurrent commit path must land them all.
+func TestCommitAsyncPipelinesCommits(t *testing.T) {
+	db, err := tashkent.Start(tashkent.Config{Mode: tashkent.ModeTashkentAPI, Replicas: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	sess := db.Session()
+	const n = 8
+	txs := make([]*tashkent.Tx, n)
+	for i := range txs {
+		tx, err := sess.Begin(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Update("t", fmt.Sprintf("k%d", i), map[string][]byte{"v": {byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		txs[i] = tx
+	}
+	chans := make([]<-chan error, n)
+	for i, tx := range txs {
+		chans[i] = tx.CommitAsync(ctx)
+	}
+	for i, ch := range chans {
+		if err := <-ch; err != nil {
+			t.Fatalf("pipelined commit %d: %v", i, err)
+		}
+	}
+
+	// Every write is visible through the same session.
+	err = sess.RunTx(ctx, func(tx *tashkent.Tx) error {
+		for i := 0; i < n; i++ {
+			v, ok, err := tx.ReadCol("t", fmt.Sprintf("k%d", i), "v")
+			if err != nil || !ok || v[0] != byte(i) {
+				return fmt.Errorf("k%d: got %v ok=%v err=%v", i, v, ok, err)
+			}
+		}
+		return nil
+	}, tashkent.ReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+}
