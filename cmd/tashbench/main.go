@@ -9,10 +9,13 @@
 //	tashbench -exp all -scale 5    # everything, at 1/5 of paper latencies
 //	tashbench -exp fig14 -replicas 1,4,8,15
 //	tashbench -exp policies -policy roundrobin,leastinflight,rwsplit
+//	tashbench -exp batching -replicas 1,4,8,15 -maxbatch 256
 //
 // Experiments: fig4 (covers Fig 4+5), fig6 (6+7), fig8 (8+9),
 // fig10 (10+11), fig12 (12+13), fig14, standalone (§9.2 text),
-// recovery (§9.6), policies (session-API routing comparison), all.
+// recovery (§9.6), policies (session-API routing comparison),
+// batching (update-heavy writesets-per-fsync / pipeline batch-size
+// sweep — the paper's headline figure), all.
 package main
 
 import (
@@ -28,13 +31,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|all")
 		scale    = flag.Int("scale", 10, "divide paper disk latencies by this factor (1 = full 8ms fsyncs)")
 		replicas = flag.String("replicas", "1,2,4,8,12,15", "comma-separated replica counts to sweep")
 		clients  = flag.Int("clients", 10, "closed-loop clients per replica")
 		measure  = flag.Duration("measure", 1500*time.Millisecond, "measurement window per point")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warmup per point")
 		seed     = flag.Int64("seed", 1, "random seed")
+		maxBatch = flag.Int("maxbatch", 0, "certifier pipeline batch cap (0 = certifier default)")
+		maxWait  = flag.Duration("maxwait", 0, "certifier pipeline batch linger (0 = drain-only)")
 		policies = flag.String("policy", "roundrobin,leastinflight,rwsplit",
 			"comma-separated routing policies for -exp policies: roundrobin|leastinflight|rwsplit")
 	)
@@ -52,6 +57,8 @@ func main() {
 		Warmup:            *warmup,
 		Measure:           *measure,
 		Seed:              *seed,
+		CertMaxBatch:      *maxBatch,
+		CertMaxWait:       *maxWait,
 		Out:               os.Stdout,
 	}
 
@@ -74,8 +81,9 @@ func main() {
 			_, err := harness.RunPolicyComparison(splitPolicies(*policies), opt)
 			return err
 		},
+		"batching": func() error { _, err := harness.RunBatchingExperiment(opt); return err },
 	}
-	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies"}
+	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching"}
 
 	if *exp == "all" {
 		for _, name := range order {

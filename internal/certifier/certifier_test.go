@@ -249,6 +249,103 @@ func TestGroupCommitBatchesWritesets(t *testing.T) {
 	}
 }
 
+func TestPipelineBatchesConcurrentCertifications(t *testing.T) {
+	// K concurrent certify requests must complete in far fewer fsyncs
+	// than K: the pipeline drains the admission queue into one
+	// replication round and one durability barrier per batch.
+	var disk *simdisk.Disk
+	g := newTestGroup(t, 1, func(i int, cfg *Config) {
+		disk = simdisk.New(simdisk.Profile{FsyncLatency: 4 * time.Millisecond}, int64(i))
+		cfg.Disk = disk
+	})
+	ld := g.waitLeader(t)
+	const k = 40
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := g.client.Certify(Request{
+				Origin: 1 + i%4, StartVersion: 0, WSBytes: wsBytes(fmt.Sprintf("k%d", i)),
+			})
+			if err != nil {
+				t.Errorf("certify %d: %v", i, err)
+			} else if !resp.Committed {
+				t.Errorf("certify %d aborted (disjoint writesets cannot conflict)", i)
+			}
+		}()
+	}
+	wg.Wait()
+	st := disk.Stats()
+	if st.Fsyncs >= k/2 {
+		t.Errorf("%d fsyncs for %d concurrent certifications; want far fewer (batching)", st.Fsyncs, k)
+	}
+	if r := st.GroupRatio(); r < 2 {
+		t.Errorf("writesets per fsync = %.1f, want >= 2", r)
+	}
+	bs := ld.BatchStats()
+	if bs.Max < 2 {
+		t.Errorf("batch stats %v: pipeline never formed a multi-commit batch", bs)
+	}
+	if bs.Sum != k {
+		t.Errorf("batch stats account for %d commits, want %d", bs.Sum, k)
+	}
+}
+
+func TestLeadershipChangeReanchorsSequencing(t *testing.T) {
+	g := newTestGroup(t, 3, nil)
+	r1, err := g.client.Certify(Request{Origin: 1, WSBytes: wsBytes("a")})
+	if err != nil || !r1.Committed {
+		t.Fatalf("pre-failover: %+v %v", r1, err)
+	}
+	if r1.ReplicaSeq != 1 {
+		t.Fatalf("first response seq = %d, want 1", r1.ReplicaSeq)
+	}
+	oldEpoch := r1.SeqEpoch
+	g.waitLeader(t).Stop()
+
+	// Certification resumes under a new leader after failover.
+	var r2 Response
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r2, err = g.client.Certify(Request{Origin: 1, StartVersion: 1, WSBytes: wsBytes("b")})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("post-failover certify never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The new leader starts a fresh sequencing epoch with restarted
+	// per-origin counters, which is what lets proxies re-anchor.
+	if r2.SeqEpoch <= oldEpoch {
+		t.Errorf("post-failover epoch %d, want > %d", r2.SeqEpoch, oldEpoch)
+	}
+	if r2.ReplicaSeq != 1 {
+		t.Errorf("post-failover seq = %d, want counter restart at 1", r2.ReplicaSeq)
+	}
+
+	// A pull served by the new leader ships only majority-durable
+	// versions: everything it returns is <= its reported SystemVersion.
+	pull, err := g.client.Pull(PullRequest{Origin: 9, ReplicaVersion: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pull.SeqEpoch != r2.SeqEpoch {
+		t.Errorf("pull epoch %d != certify epoch %d", pull.SeqEpoch, r2.SeqEpoch)
+	}
+	if len(pull.Remote) < 2 {
+		t.Fatalf("pull remotes = %d, want both committed versions", len(pull.Remote))
+	}
+	for _, r := range pull.Remote {
+		if r.Version > pull.SystemVersion {
+			t.Errorf("pull shipped version %d beyond committed cap %d", r.Version, pull.SystemVersion)
+		}
+	}
+}
+
 func TestDisableDurabilitySkipsFsyncs(t *testing.T) {
 	var disk *simdisk.Disk
 	g := newTestGroup(t, 1, func(i int, cfg *Config) {

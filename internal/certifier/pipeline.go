@@ -1,0 +1,289 @@
+package certifier
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tashkent/internal/core"
+	"tashkent/internal/paxos"
+)
+
+// This file implements the staged certification pipeline, the heart of
+// the paper's durability/ordering unification: instead of one paxos
+// round and one fsync per transaction, RPC handlers enqueue onto an
+// admission queue and a dedicated certification loop repeatedly
+//
+//  1. drains every waiting request (bounded by Config.MaxBatch),
+//  2. conflict-checks them in admission order against the engine —
+//     later requests in the batch see earlier survivors, exactly as if
+//     they had been serialized,
+//  3. proposes all surviving commits as ONE batched log append
+//     (paxos.ProposeBatchAt: one replication round; followers persist
+//     the round via wal.AppendBatch, one fsync),
+//  4. takes ONE durability barrier (WaitCommitted on the batch's last
+//     index) for the whole batch, and
+//  5. fans responses — remote-writeset fills, replica sequence
+//     numbers, commit versions — back to all waiters.
+//
+// Aborts and certification errors resolve at step 2; they never wait
+// for the disk.
+
+// certifyTask carries one admitted request through the pipeline.
+type certifyTask struct {
+	req Request
+	ws  *core.Writeset
+
+	// Filled by the certification loop.
+	resp    Response
+	err     error
+	commit  bool   // survived certification; part of the batch proposal
+	version uint64 // assigned commit version (commit tasks only)
+
+	done chan struct{} // closed when resp/err are final
+}
+
+// finish publishes the task's outcome to its waiting RPC handler.
+func (t *certifyTask) finish() { close(t.done) }
+
+// fail resolves a task with an error.
+func (t *certifyTask) fail(err error) {
+	t.resp = Response{}
+	t.err = err
+	t.finish()
+}
+
+// certify is the transport-facing entry point: decode, enqueue, wait.
+// The error for a stopped server is paxos.ErrStopped so the failover
+// client treats it like any other replication-layer outage and retries
+// elsewhere.
+func (s *Server) certify(req Request) (Response, error) {
+	ws, _, err := core.DecodeWriteset(req.WSBytes)
+	if err != nil {
+		return Response{}, err
+	}
+	if ws.Empty() {
+		return Response{}, errors.New("certifier: empty writeset (read-only transactions commit at the replica)")
+	}
+	t := &certifyTask{req: req, ws: ws, done: make(chan struct{})}
+	select {
+	case s.admitCh <- t:
+	case <-s.stopCh:
+		return Response{}, paxos.ErrStopped
+	}
+	select {
+	case <-t.done:
+		return t.resp, t.err
+	case <-s.stopCh:
+		// The loop may have resolved the task concurrently with the
+		// shutdown; prefer its answer if it exists.
+		select {
+		case <-t.done:
+			return t.resp, t.err
+		default:
+			return Response{}, paxos.ErrStopped
+		}
+	}
+}
+
+// certifyLoop is the dedicated certification stage: it blocks for the
+// first admitted request, gathers a batch, and processes it.
+func (s *Server) certifyLoop() {
+	defer s.loopWG.Done()
+	for {
+		var first *certifyTask
+		select {
+		case first = <-s.admitCh:
+		case <-s.stopCh:
+			s.drainAdmitted()
+			return
+		}
+		batch := s.gatherBatch(first)
+		if batch == nil { // stopping
+			s.drainAdmitted()
+			return
+		}
+		s.processBatch(batch)
+	}
+}
+
+// gatherBatch collects up to MaxBatch tasks behind first. With MaxWait
+// set it lingers for stragglers; otherwise it takes only what is
+// already queued. Returns nil if the server stopped mid-gather (the
+// collected tasks are failed).
+func (s *Server) gatherBatch(first *certifyTask) []*certifyTask {
+	batch := append(make([]*certifyTask, 0, 16), first)
+	if s.cfg.MaxWait <= 0 {
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case t := <-s.admitCh:
+				batch = append(batch, t)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case t := <-s.admitCh:
+			batch = append(batch, t)
+		case <-timer.C:
+			return batch
+		case <-s.stopCh:
+			s.failTasks(batch, paxos.ErrStopped)
+			return nil
+		}
+	}
+	return batch
+}
+
+// drainAdmitted fails everything still sitting in the admission queue
+// at shutdown.
+func (s *Server) drainAdmitted() {
+	for {
+		select {
+		case t := <-s.admitCh:
+			t.fail(paxos.ErrStopped)
+		default:
+			return
+		}
+	}
+}
+
+// failTasks resolves a slice of tasks with one error.
+func (s *Server) failTasks(tasks []*certifyTask, err error) {
+	for _, t := range tasks {
+		t.fail(err)
+	}
+}
+
+// processBatch runs stages 2-5 of the pipeline for one batch.
+func (s *Server) processBatch(batch []*certifyTask) {
+	s.mu.Lock()
+	if err := s.ensureEngineLocked(); err != nil {
+		s.mu.Unlock()
+		s.failTasks(batch, err)
+		return
+	}
+
+	// Stage 2: conflict-check in admission order. Survivors are
+	// appended to the engine immediately so later requests in the batch
+	// certify against them; if the batched propose then fails, the
+	// engine basis is invalidated and rebuilt from the authoritative
+	// log, exactly as the per-request path did.
+	firstVersion := uint64(s.engine.SystemVersion()) + 1
+	var commits []*certifyTask
+	var datas [][]byte
+	for _, t := range batch {
+		s.stats.Requests++
+		// Full certification check first; injected aborts (Fig 14)
+		// happen after the check so the certifier pays all its usual
+		// costs.
+		conflict := s.engine.Conflicts(core.Version(t.req.StartVersion), t.ws)
+		injected := false
+		if !conflict && s.cfg.AbortRate > 0 && s.rng.Float64() < s.cfg.AbortRate {
+			injected = true
+		}
+		if conflict || injected {
+			s.stats.Aborts++
+			if injected {
+				s.stats.InjectedAborts++
+			}
+			continue // response built once the propose outcome is known
+		}
+		version := uint64(s.engine.SystemVersion()) + 1
+		if err := s.engine.Append(core.LogEntry{
+			Version: core.Version(version), WS: t.ws, Origin: t.req.Origin,
+			CertifiedBack: core.Version(t.req.StartVersion),
+		}); err != nil {
+			s.basisValid = false
+			t.err = err
+			continue
+		}
+		t.commit = true
+		t.version = version
+		datas = append(datas, encodeEntryData(t.req.Origin, t.req.StartVersion, t.ws))
+		commits = append(commits, t)
+	}
+
+	// Stage 3: one replication round for every surviving commit,
+	// guarded against engine/log skew while we still hold the lock.
+	var firstIdx, term uint64
+	var proposeErr error
+	if len(datas) > 0 {
+		firstIdx, term, proposeErr = s.node.ProposeBatchAt(firstVersion-1, datas)
+		if proposeErr == nil && firstIdx != firstVersion {
+			proposeErr = fmt.Errorf("certifier: proposed first index %d, engine expected %d", firstIdx, firstVersion)
+		}
+		if proposeErr != nil {
+			// Log changed or leadership lost: force a rebuild next time.
+			s.basisValid = false
+		} else {
+			// Commit and batch-size accounting only cover batches that
+			// actually reached the replicated log (a failed propose
+			// errors every task in it).
+			s.stats.Commits += int64(len(commits))
+			s.batchSizes.Observe(int64(len(datas)))
+		}
+	}
+
+	// Responses are sequenced only now, in admission order: per-origin
+	// ReplicaSeq numbers must be consumed exclusively by responses that
+	// will actually be delivered, or a failed propose would leave
+	// permanent gaps in the old epoch and stall the proxy sequencers
+	// behind them. Commits doomed by a propose failure therefore take
+	// no sequence number (they fail with an error below); their abort
+	// siblings still respond with a dense sequence.
+	for _, t := range batch {
+		if t.err != nil {
+			continue
+		}
+		if t.commit {
+			if proposeErr != nil {
+				continue
+			}
+			t.resp = Response{Committed: true, CommitVersion: t.version, ReplicaSeq: s.nextReplicaSeqLocked(t.req.Origin), SeqEpoch: s.basisTerm}
+			// Remote writesets up to the task's own version: earlier
+			// commits of this same batch are included and will be
+			// durable by the time the response leaves (the batch
+			// barrier covers them).
+			s.fillRemotesLocked(&t.resp, t.req.Origin, false, t.req.ReplicaVersion, t.version, t.req.NeedSafeBack)
+		} else {
+			t.resp = Response{Committed: false, ReplicaSeq: s.nextReplicaSeqLocked(t.req.Origin), SeqEpoch: s.basisTerm}
+			s.fillRemotesLocked(&t.resp, t.req.Origin, false, t.req.ReplicaVersion, s.committedCap(), t.req.NeedSafeBack)
+		}
+	}
+	s.mu.Unlock()
+
+	// Aborts and per-task errors resolve without touching the disk.
+	for _, t := range batch {
+		if !t.commit {
+			t.finish()
+		}
+	}
+	if len(commits) == 0 {
+		return
+	}
+	if proposeErr != nil {
+		s.failTasks(commits, fmt.Errorf("certifier: propose: %w", proposeErr))
+		return
+	}
+
+	// Stage 4: one durability barrier for the whole batch.
+	lastIdx := firstIdx + uint64(len(datas)) - 1
+	if err := s.node.WaitCommitted(lastIdx, term); err != nil {
+		s.failTasks(commits, fmt.Errorf("certifier: replication: %w", err))
+		return
+	}
+
+	// Stage 5: fan out. Every commit version <= lastIdx is majority
+	// durable now.
+	sysv := s.node.CommitIndex()
+	for _, t := range commits {
+		t.resp.SystemVersion = sysv
+		t.finish()
+	}
+}

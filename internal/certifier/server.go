@@ -1,7 +1,6 @@
 package certifier
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -9,6 +8,7 @@ import (
 	"time"
 
 	"tashkent/internal/core"
+	"tashkent/internal/metrics"
 	"tashkent/internal/paxos"
 	"tashkent/internal/simdisk"
 	"tashkent/internal/transport"
@@ -43,18 +43,44 @@ type Config struct {
 	// applied *after* the full certification check so all certifier
 	// work is still done — the Fig 14 methodology.
 	AbortRate float64
+	// MaxBatch caps how many admitted certification requests one
+	// pipeline iteration drains into a single replication round and
+	// durability barrier (<=0 selects the default of 256).
+	MaxBatch int
+	// MaxWait is how long the certification loop lingers after the
+	// first admitted request to let stragglers join its batch. Zero
+	// (the default) means no artificial delay: the loop takes whatever
+	// is already queued — under load batches form naturally while the
+	// previous barrier is on the disk.
+	MaxWait time.Duration
 	// ElectionTimeout/Seed tune the underlying replication group.
 	ElectionTimeout time.Duration
 	Seed            int64
 }
 
+// defaultMaxBatch bounds one certification batch when Config.MaxBatch
+// is unset.
+const defaultMaxBatch = 256
+
 // Server is one certifier node: a paxos group member plus the
 // certification engine. Any node accepts RPCs; only the current leader
 // certifies (followers redirect).
+//
+// Certification runs as a staged pipeline: RPC handlers enqueue onto
+// the admission queue and wait; a dedicated certification loop drains
+// all waiting requests, conflict-checks them in order, proposes every
+// surviving commit as one batched log append, takes one durability
+// barrier per batch, and fans the responses back (see pipeline.go).
 type Server struct {
 	cfg  Config
 	node *paxos.Node
 	disk *simdisk.Disk
+
+	admitCh    chan *certifyTask // admission queue feeding the loop
+	stopCh     chan struct{}
+	stopOnce   sync.Once
+	loopWG     sync.WaitGroup
+	batchSizes metrics.Distribution // commits proposed per batch
 
 	mu         sync.Mutex // guards engine + basisTerm + rng + stats
 	engine     *core.Engine
@@ -74,11 +100,16 @@ func New(cfg Config) *Server {
 	if cfg.DisableDurability {
 		mode = wal.NoSync
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
 	s := &Server{
-		cfg:    cfg,
-		disk:   cfg.Disk,
-		engine: core.NewEngine(),
-		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),
+		cfg:     cfg,
+		disk:    cfg.Disk,
+		engine:  core.NewEngine(),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),
+		admitCh: make(chan *certifyTask, 4*cfg.MaxBatch),
+		stopCh:  make(chan struct{}),
 	}
 	s.node = paxos.NewNode(paxos.Config{
 		ID:              cfg.ID,
@@ -95,11 +126,23 @@ func New(cfg Config) *Server {
 // image before Start (certifier recovery, §7.3).
 func (s *Server) RestoreFromImage(img []byte) error { return s.node.RestoreFromImage(img) }
 
-// Start joins the replication group.
-func (s *Server) Start() { s.node.Start() }
+// Start joins the replication group and launches the certification
+// pipeline loop.
+func (s *Server) Start() {
+	s.node.Start()
+	s.loopWG.Add(1)
+	go s.certifyLoop()
+}
 
-// Stop halts the node.
-func (s *Server) Stop() { s.node.Stop() }
+// Stop halts the node and the certification loop. Requests still in
+// the admission queue fail with paxos.ErrStopped.
+func (s *Server) Stop() {
+	// Stop the node first so a loop blocked in WaitCommitted (or a
+	// propose in flight) unblocks with ErrStopped before we wait for it.
+	s.node.Stop()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.loopWG.Wait()
+}
 
 // WALImage returns the crash-surviving persistent log image.
 func (s *Server) WALImage() []byte { return s.node.WALImage() }
@@ -124,6 +167,22 @@ func (s *Server) Stats() Stats {
 // DiskStats exposes the log channel statistics — the source of the
 // writesets-per-fsync figure the paper reports.
 func (s *Server) DiskStats() simdisk.Stats { return s.disk.Stats() }
+
+// DiskUtilization reports the log channel's busy fraction since the
+// last stats reset.
+func (s *Server) DiskUtilization() float64 { return s.disk.Utilization() }
+
+// BatchStats summarizes the certification pipeline's batch sizes: how
+// many commits shared one replication round and durability barrier.
+func (s *Server) BatchStats() metrics.DistSummary { return s.batchSizes.Summarize() }
+
+// ResetActivityStats zeroes the disk statistics and the batch-size
+// distribution, typically after populate/warm-up so the reported
+// writesets-per-fsync reflects steady state.
+func (s *Server) ResetActivityStats() {
+	s.disk.ResetStats()
+	s.batchSizes.Reset()
+}
 
 // SetAbortRate changes the injected abort rate at runtime (Fig 14
 // sweeps).
@@ -207,86 +266,6 @@ func (s *Server) nextReplicaSeqLocked(origin int) uint64 {
 	return s.replicaSeq[origin]
 }
 
-// certify implements the §6.1 pseudocode plus replication: test for
-// intersection, append to the replicated log, wait for majority
-// durability, return decision + commit version + remote writesets.
-func (s *Server) certify(req Request) (Response, error) {
-	ws, _, err := core.DecodeWriteset(req.WSBytes)
-	if err != nil {
-		return Response{}, err
-	}
-	if ws.Empty() {
-		return Response{}, errors.New("certifier: empty writeset (read-only transactions commit at the replica)")
-	}
-
-	s.mu.Lock()
-	if err := s.ensureEngineLocked(); err != nil {
-		s.mu.Unlock()
-		return Response{}, err
-	}
-	s.stats.Requests++
-
-	// Full certification check first; injected aborts (Fig 14) happen
-	// after the check so the certifier pays all its usual costs.
-	conflict := s.engine.Conflicts(core.Version(req.StartVersion), ws)
-	injected := false
-	if !conflict && s.cfg.AbortRate > 0 && s.rng.Float64() < s.cfg.AbortRate {
-		injected = true
-	}
-
-	if conflict || injected {
-		s.stats.Aborts++
-		if injected {
-			s.stats.InjectedAborts++
-		}
-		resp := Response{Committed: false, ReplicaSeq: s.nextReplicaSeqLocked(req.Origin), SeqEpoch: s.basisTerm}
-		s.fillRemotesLocked(&resp, req.Origin, req.ReplicaVersion, s.committedCap(), req.NeedSafeBack)
-		s.mu.Unlock()
-		return resp, nil
-	}
-
-	// Commit path: reserve the next version by proposing to the
-	// replicated log, guarded so the engine and the log cannot skew.
-	version := uint64(s.engine.SystemVersion()) + 1
-	data := encodeEntryData(req.Origin, req.StartVersion, ws)
-	idx, term, err := s.node.ProposeAt(version-1, data)
-	if err != nil {
-		// Log changed or leadership lost: force a rebuild next time.
-		s.basisValid = false
-		s.mu.Unlock()
-		return Response{}, fmt.Errorf("certifier: propose: %w", err)
-	}
-	if idx != version {
-		s.basisValid = false
-		s.mu.Unlock()
-		return Response{}, fmt.Errorf("certifier: proposed index %d, engine expected %d", idx, version)
-	}
-	if err := s.engine.Append(core.LogEntry{
-		Version: core.Version(version), WS: ws, Origin: req.Origin,
-		CertifiedBack: core.Version(req.StartVersion),
-	}); err != nil {
-		s.basisValid = false
-		s.mu.Unlock()
-		return Response{}, err
-	}
-	s.stats.Commits++
-	resp := Response{Committed: true, CommitVersion: version, ReplicaSeq: s.nextReplicaSeqLocked(req.Origin), SeqEpoch: s.basisTerm}
-	s.fillRemotesLocked(&resp, req.Origin, req.ReplicaVersion, version, req.NeedSafeBack)
-	s.mu.Unlock()
-
-	// Wait for majority durability before declaring the commit — the
-	// group-commit batching across concurrent requests happens inside
-	// the log's writer thread.
-	if err := s.node.WaitCommitted(idx, term); err != nil {
-		return Response{}, fmt.Errorf("certifier: replication: %w", err)
-	}
-	resp.SystemVersion = s.node.CommitIndex()
-	return resp, nil
-}
-
-// noOriginFilter disables own-writeset filtering in fillRemotesLocked.
-const noOriginFilter = int(^uint32(0)>>1) - 7
-
 // committedCap bounds what leaves the certifier to majority-durable
 // versions: uncommitted in-flight entries must never reach a replica.
 func (s *Server) committedCap() uint64 {
@@ -294,9 +273,11 @@ func (s *Server) committedCap() uint64 {
 }
 
 // fillRemotesLocked collects the writesets in (after, upTo] that did
-// not originate at the requesting replica, optionally annotated with
-// certify-back information.
-func (s *Server) fillRemotesLocked(resp *Response, origin int, after, upTo uint64, needSafeBack bool) {
+// not originate at the requesting replica — or every writeset in the
+// range when includeOwn is set (replica recovery needs its own
+// transactions back too) — optionally annotated with certify-back
+// information.
+func (s *Server) fillRemotesLocked(resp *Response, origin int, includeOwn bool, after, upTo uint64, needSafeBack bool) {
 	entries, err := s.engine.EntriesSince(core.Version(after), core.Version(upTo))
 	if err != nil {
 		// Horizon truncated below the replica's version; the replica
@@ -304,7 +285,7 @@ func (s *Server) fillRemotesLocked(resp *Response, origin int, after, upTo uint6
 		return
 	}
 	for _, e := range entries {
-		if e.Origin == origin {
+		if e.Origin == origin && !includeOwn {
 			continue
 		}
 		r := RemoteWS{Version: uint64(e.Version), WSBytes: e.WS.Encode(nil)}
@@ -333,11 +314,7 @@ func (s *Server) pull(req PullRequest) (PullResponse, error) {
 	s.stats.Pulls++
 	var r Response
 	upTo := s.committedCap()
-	origin := req.Origin
-	if req.IncludeOwn {
-		origin = noOriginFilter
-	}
-	s.fillRemotesLocked(&r, origin, req.ReplicaVersion, upTo, req.NeedSafeBack)
+	s.fillRemotesLocked(&r, req.Origin, req.IncludeOwn, req.ReplicaVersion, upTo, req.NeedSafeBack)
 	return PullResponse{
 		Remote: r.Remote, SystemVersion: upTo,
 		ReplicaSeq: s.nextReplicaSeqLocked(req.Origin),

@@ -33,6 +33,10 @@ type Config struct {
 	// DisableCertDurability turns off certifier disk writes — the
 	// tashAPInoCERT configuration of §9.2.
 	DisableCertDurability bool
+	// CertMaxBatch/CertMaxWait tune the certifier's batched
+	// certification pipeline (see certifier.Config.MaxBatch/MaxWait).
+	CertMaxBatch int
+	CertMaxWait  time.Duration
 	// IOProfile is the physical disk model shared by all nodes.
 	IOProfile simdisk.Profile
 	// DedicatedIO puts database files on ramdisk so the disk serves
@@ -117,6 +121,8 @@ func New(cfg Config) (*Cluster, error) {
 			Disk:              simdisk.New(cfg.IOProfile, cfg.Seed+int64(i)*7919),
 			DisableDurability: cfg.DisableCertDurability,
 			AbortRate:         cfg.AbortRate,
+			MaxBatch:          cfg.CertMaxBatch,
+			MaxWait:           cfg.CertMaxWait,
 			ElectionTimeout:   200 * time.Millisecond,
 			Seed:              cfg.Seed + int64(i),
 		})
@@ -339,6 +345,8 @@ func (c *Cluster) RecoverCertifier(i int, img []byte) error {
 		Disk:              simdisk.New(c.cfg.IOProfile, c.cfg.Seed+int64(i)*7919+1),
 		DisableDurability: c.cfg.DisableCertDurability,
 		AbortRate:         c.cfg.AbortRate,
+		MaxBatch:          c.cfg.CertMaxBatch,
+		MaxWait:           c.cfg.CertMaxWait,
 		ElectionTimeout:   200 * time.Millisecond,
 		Seed:              c.cfg.Seed + int64(i) + 1000,
 	})

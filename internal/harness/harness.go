@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tashkent/internal/cluster"
+	"tashkent/internal/metrics"
 	"tashkent/internal/proxy"
 	"tashkent/internal/replica"
 	"tashkent/internal/simdisk"
@@ -71,6 +72,10 @@ type Options struct {
 	// commits ~50 txn/s, a standalone/MW replica ~250-500). Negative
 	// disables it.
 	ExecTime time.Duration
+	// CertMaxBatch/CertMaxWait tune the certifier's batched
+	// certification pipeline (zero keeps the certifier defaults).
+	CertMaxBatch int
+	CertMaxWait  time.Duration
 	// Out receives the formatted tables (nil discards).
 	Out io.Writer
 }
@@ -115,6 +120,9 @@ type Point struct {
 	Result     workload.Result
 	GroupRatio float64 // certifier-leader writesets per fsync (MW durability point)
 	CertUtil   float64
+	// Batch summarizes the certification pipeline's batch sizes at the
+	// leader (commits per replication round / durability barrier).
+	Batch metrics.DistSummary
 }
 
 // Series is one experiment's measurements.
@@ -130,6 +138,8 @@ func clusterFor(sys System, replicas int, dedicated bool, o Options, wl workload
 		Certifiers:         3,
 		IOProfile:          o.profile(),
 		DedicatedIO:        dedicated,
+		CertMaxBatch:       o.CertMaxBatch,
+		CertMaxWait:        o.CertMaxWait,
 		LocalCertification: true,
 		EagerPreCert:       true,
 		LockTimeout:        5 * time.Second,
@@ -178,10 +188,10 @@ func runPoint(sys System, replicas int, dedicated bool, wl workload.Generator, o
 		i := i
 		begins[i] = workload.Plain(func() (workload.PlainTx, error) { return c.Begin(i) })
 	}
-	// Reset disk stats after populate so group ratios reflect steady
-	// state.
+	// Reset disk and batch stats after populate so group ratios and
+	// batch sizes reflect steady state, not the serial load phase.
 	if leader := c.CertLeader(); leader != nil {
-		_ = leader
+		leader.ResetActivityStats()
 	}
 	res := workload.Run(ctx, wl, begins, workload.RunConfig{
 		ClientsPerReplica: o.ClientsPerReplica,
@@ -193,6 +203,8 @@ func runPoint(sys System, replicas int, dedicated bool, wl workload.Generator, o
 	pt := Point{System: sys, Replicas: replicas, Result: res}
 	if leader := c.CertLeader(); leader != nil {
 		pt.GroupRatio = leader.DiskStats().GroupRatio()
+		pt.CertUtil = leader.DiskUtilization()
+		pt.Batch = leader.BatchStats()
 	}
 	return pt, nil
 }
@@ -224,6 +236,7 @@ func ThroughputExperiment(name string, wl func() workload.Generator, dedicated b
 	}
 	printThroughputTable(o.Out, o.ReplicaCounts, out)
 	printResponseTable(o.Out, o.ReplicaCounts, out)
+	printGroupRatioTable(o.Out, o.ReplicaCounts, out)
 	return out, nil
 }
 
@@ -252,6 +265,35 @@ func printResponseTable(w io.Writer, counts []int, series []Series) {
 		fmt.Fprintf(w, "%d", n)
 		for _, s := range series {
 			fmt.Fprintf(w, "\t%.1f", float64(s.Points[i].Result.RT.Mean.Microseconds())/1000)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// printGroupRatioTable reports the certifier-leader writesets per
+// fsync — the paper's headline batching figure — for every series that
+// exercised the certifier disk.
+func printGroupRatioTable(w io.Writer, counts []int, series []Series) {
+	any := false
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.GroupRatio > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "\nCertifier writesets per fsync:\nreplicas")
+	for _, s := range series {
+		fmt.Fprintf(w, "\t%s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for i, n := range counts {
+		fmt.Fprintf(w, "%d", n)
+		for _, s := range series {
+			fmt.Fprintf(w, "\t%.1f", s.Points[i].GroupRatio)
 		}
 		fmt.Fprintln(w)
 	}

@@ -23,6 +23,9 @@ func fastOptions(out *bytes.Buffer) Options {
 }
 
 func TestFig4ShapeTashkentBeatsBase(t *testing.T) {
+	if raceEnabled {
+		t.Skip("figure-shape timing ratios are not meaningful under the race detector")
+	}
 	var buf bytes.Buffer
 	series, err := Fig4and5(fastOptions(&buf))
 	if err != nil {
@@ -70,6 +73,9 @@ func TestFig4ShapeTashkentBeatsBase(t *testing.T) {
 }
 
 func TestBaseScalesLinearlyWithReplicas(t *testing.T) {
+	if raceEnabled {
+		t.Skip("figure-shape timing ratios are not meaningful under the race detector")
+	}
 	var buf bytes.Buffer
 	o := fastOptions(&buf)
 	o.ReplicaCounts = []int{1, 2, 4}
@@ -93,6 +99,9 @@ func TestBaseScalesLinearlyWithReplicas(t *testing.T) {
 }
 
 func TestStandaloneComparisonWithin(t *testing.T) {
+	if raceEnabled {
+		t.Skip("figure-shape timing ratios are not meaningful under the race detector")
+	}
 	var buf bytes.Buffer
 	o := fastOptions(&buf)
 	cmp, err := RunStandaloneComparison(true, o)
@@ -110,6 +119,9 @@ func TestStandaloneComparisonWithin(t *testing.T) {
 }
 
 func TestFig14GoodputDropsWithAbortRate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("figure-shape timing ratios are not meaningful under the race detector")
+	}
 	var buf bytes.Buffer
 	o := fastOptions(&buf)
 	o.ReplicaCounts = []int{2}

@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that the race detector is active. Its scheduling
+// overhead slows the simulated systems unevenly, so the figure-shape
+// tests (which assert throughput ratios between systems) skip
+// themselves; the plain CI job still runs them.
+const raceEnabled = true

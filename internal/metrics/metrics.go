@@ -155,6 +155,154 @@ func (s Summary) String() string {
 
 func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
 
+// Distribution accumulates small positive integer samples — batch
+// sizes, group sizes, queue depths — into power-of-two buckets plus
+// exact count/sum/max, cheap enough for hot paths. The zero value is
+// ready to use.
+type Distribution struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	max     int64
+	buckets [distBuckets]int64 // bucket i counts samples in (2^(i-1), 2^i]
+}
+
+// distBuckets covers samples up to 2^31; anything larger clamps into
+// the last bucket.
+const distBuckets = 32
+
+// bucketFor returns the bucket index for sample v >= 1: bucket 0 holds
+// 1, bucket 1 holds 2, bucket 2 holds 3-4, bucket 3 holds 5-8, ...
+func bucketFor(v int64) int {
+	b := 0
+	for hi := int64(1); hi < v && b < distBuckets-1; hi <<= 1 {
+		b++
+	}
+	return b
+}
+
+// Observe records one sample. Non-positive samples are ignored.
+func (d *Distribution) Observe(v int64) {
+	if v <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.count++
+	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+	d.buckets[bucketFor(v)]++
+}
+
+// Reset zeroes the distribution.
+func (d *Distribution) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.count, d.sum, d.max = 0, 0, 0
+	d.buckets = [distBuckets]int64{}
+}
+
+// Count returns the number of samples observed.
+func (d *Distribution) Count() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// Sum returns the sum of all samples.
+func (d *Distribution) Sum() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sum
+}
+
+// Max returns the largest sample observed.
+func (d *Distribution) Max() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.max
+}
+
+// Mean returns the exact mean of all samples (0 with no samples).
+func (d *Distribution) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.count)
+}
+
+// Percentile returns an upper bound on the p-th percentile (0 < p <=
+// 100), resolved to bucket granularity: the upper edge of the bucket
+// containing that rank.
+func (d *Distribution) Percentile(p float64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.percentileLocked(p)
+}
+
+func (d *Distribution) percentileLocked(p float64) int64 {
+	if d.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 0.001
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(d.count)))
+	var seen int64
+	for i, c := range d.buckets {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 1
+			}
+			hi := int64(1) << uint(i)
+			if hi > d.max {
+				hi = d.max
+			}
+			return hi
+		}
+	}
+	return d.max
+}
+
+// DistSummary is a point-in-time digest of a Distribution.
+type DistSummary struct {
+	Count, Sum, Max int64
+	Mean            float64
+	P50, P99        int64
+}
+
+// Summarize returns the digest, snapshotted atomically with respect to
+// concurrent Observe calls.
+func (d *Distribution) Summarize() DistSummary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DistSummary{
+		Count: d.count,
+		Sum:   d.sum,
+		Max:   d.max,
+		P50:   d.percentileLocked(50),
+		P99:   d.percentileLocked(99),
+	}
+	if d.count > 0 {
+		s.Mean = float64(d.sum) / float64(d.count)
+	}
+	return s
+}
+
+// String renders the digest compactly.
+func (s DistSummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d max=%d",
+		s.Count, s.Mean, s.P50, s.P99, s.Max)
+}
+
 // Counter is a concurrent event counter.
 type Counter struct {
 	mu sync.Mutex

@@ -98,6 +98,68 @@ func TestSummaryString(t *testing.T) {
 	}
 }
 
+func TestDistributionBasics(t *testing.T) {
+	var d Distribution
+	for _, v := range []int64{1, 2, 3, 4, 40} {
+		d.Observe(v)
+	}
+	d.Observe(0)  // ignored
+	d.Observe(-5) // ignored
+	if d.Count() != 5 || d.Sum() != 50 || d.Max() != 40 {
+		t.Errorf("count=%d sum=%d max=%d", d.Count(), d.Sum(), d.Max())
+	}
+	if m := d.Mean(); m != 10 {
+		t.Errorf("mean = %v, want 10", m)
+	}
+	// Bucketed percentiles are upper bounds at power-of-two granularity.
+	if p := d.Percentile(50); p < 3 || p > 4 {
+		t.Errorf("p50 = %d, want in [3,4]", p)
+	}
+	if p := d.Percentile(100); p != 40 {
+		t.Errorf("p100 = %d, want clamped to max 40", p)
+	}
+	s := d.Summarize()
+	if s.Count != 5 || s.Max != 40 || s.Mean != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if str := s.String(); !strings.Contains(str, "n=5") || !strings.Contains(str, "max=40") {
+		t.Errorf("summary string = %q", str)
+	}
+	d.Reset()
+	if d.Count() != 0 || d.Sum() != 0 || d.Max() != 0 || d.Percentile(50) != 0 {
+		t.Error("reset did not zero the distribution")
+	}
+}
+
+func TestDistributionSingleSample(t *testing.T) {
+	var d Distribution
+	d.Observe(1)
+	if d.Percentile(50) != 1 || d.Percentile(99) != 1 || d.Max() != 1 {
+		t.Errorf("single-sample percentiles: p50=%d p99=%d max=%d", d.Percentile(50), d.Percentile(99), d.Max())
+	}
+}
+
+func TestDistributionConcurrent(t *testing.T) {
+	var d Distribution
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= 100; i++ {
+				d.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Count() != 800 {
+		t.Errorf("count = %d, want 800", d.Count())
+	}
+	if d.Max() != 100 {
+		t.Errorf("max = %d", d.Max())
+	}
+}
+
 func TestCounter(t *testing.T) {
 	var c Counter
 	var wg sync.WaitGroup

@@ -271,7 +271,7 @@ func (n *Node) SnapshotLog() (term uint64, role Role, entries []Entry) {
 // entries, guaranteeing the caller's derived state (certification
 // engine) matches the index being assigned.
 func (n *Node) ProposeAt(expectLen uint64, data []byte) (index, term uint64, err error) {
-	return n.propose(data, true, expectLen)
+	return n.proposeBatch([][]byte{data}, true, expectLen)
 }
 
 // Propose appends data as the next log entry. It returns the reserved
@@ -279,10 +279,26 @@ func (n *Node) ProposeAt(expectLen uint64, data []byte) (index, term uint64, err
 // caller completes the proposal with WaitCommitted. Only the leader
 // may propose.
 func (n *Node) Propose(data []byte) (index, term uint64, err error) {
-	return n.propose(data, false, 0)
+	return n.proposeBatch([][]byte{data}, false, 0)
 }
 
-func (n *Node) propose(data []byte, guarded bool, expectLen uint64) (uint64, uint64, error) {
+// ProposeBatchAt reserves len(datas) consecutive log indices under one
+// lock acquisition and replicates them as a single round: the leader
+// persists all of them through one batched WAL insertion (one fsync)
+// and followers receive them in one append RPC, persisting via the
+// same batched path. It returns the index of the first entry; the whole
+// batch occupies [first, first+len(datas)-1] at the returned term, so
+// one WaitCommitted on the last index is a durability barrier for the
+// entire batch. Like ProposeAt it fails with ErrLogChanged unless the
+// log still has exactly expectLen entries.
+func (n *Node) ProposeBatchAt(expectLen uint64, datas [][]byte) (first, term uint64, err error) {
+	if len(datas) == 0 {
+		return 0, 0, errors.New("paxos: empty batch proposal")
+	}
+	return n.proposeBatch(datas, true, expectLen)
+}
+
+func (n *Node) proposeBatch(datas [][]byte, guarded bool, expectLen uint64) (uint64, uint64, error) {
 	n.mu.Lock()
 	if n.stopped {
 		n.mu.Unlock()
@@ -297,26 +313,54 @@ func (n *Node) propose(data []byte, guarded bool, expectLen uint64) (uint64, uin
 		n.mu.Unlock()
 		return 0, 0, fmt.Errorf("%w: have %d entries, expected %d", ErrLogChanged, len(n.log), expectLen)
 	}
-	e := Entry{Index: uint64(len(n.log)) + 1, Term: n.term, Data: data}
-	n.log = append(n.log, e)
+	first := uint64(len(n.log)) + 1
+	term := n.term
+	entries := make([]Entry, len(datas))
+	payloads := make([][]byte, len(datas))
+	for i, data := range datas {
+		entries[i] = Entry{Index: first + uint64(i), Term: term, Data: data}
+		p, err := gobEncode(entries[i])
+		if err != nil {
+			n.mu.Unlock()
+			return 0, 0, err
+		}
+		payloads[i] = append([]byte{recEntry}, p...)
+	}
+	// The memory append and the WAL insertion happen in ONE critical
+	// section — the same discipline handleAppend follows — so the WAL
+	// image order always equals the memory log order, no matter how
+	// proposals, depositions, and follower rounds interleave. Batches
+	// are bounded by the certifier's MaxBatch, so the encode work held
+	// under the lock stays small. The fsync wait happens in the
+	// background; followers ack after their own fsync and our own fsync
+	// advances stableIndex.
+	n.log = append(n.log, entries...)
+	wait, err := n.wal.AppendBatchAsync(payloads)
 	n.mu.Unlock()
-
-	// Persist locally (group commit with concurrent proposals) and
-	// replicate. Both proceed in parallel: followers ack after their
-	// own fsync; our own fsync sets stableIndex.
-	go n.persistEntry(e)
+	if err != nil {
+		// WAL closed. Unreachable while Stop orders stopped=true before
+		// wal.Close (we checked stopped under this same lock hold), but
+		// if that ever changes the entries were neither persisted nor
+		// broadcast — report it, don't fake a reservation.
+		return 0, 0, ErrStopped
+	}
+	go n.finishPersist(entries[len(entries)-1], wait)
 	go n.broadcastAppend()
-	return e.Index, e.Term, nil
+	return first, term, nil
 }
 
-func (n *Node) persistEntry(e Entry) {
-	if err := n.appendWAL(recEntry, e); err != nil {
+// finishPersist waits for a proposal's WAL batch to become durable and
+// advances stableIndex. The term check skips the advance if the batch
+// was truncated away while its fsync was pending (deposition): the
+// replacing round vouches for its own records.
+func (n *Node) finishPersist(last Entry, wait func() error) {
+	if err := wait(); err != nil {
 		return
 	}
 	n.mu.Lock()
-	if e.Index > n.stableIndex && uint64(len(n.log)) >= e.Index &&
-		n.log[e.Index-1].Term == e.Term {
-		n.stableIndex = e.Index
+	if last.Index > n.stableIndex && uint64(len(n.log)) >= last.Index &&
+		n.log[last.Index-1].Term == last.Term {
+		n.stableIndex = last.Index
 		n.maybeAdvanceCommitLocked()
 	}
 	n.mu.Unlock()

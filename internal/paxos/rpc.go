@@ -138,6 +138,20 @@ func (n *Node) handleVote(args voteArgs) voteReply {
 }
 
 func (n *Node) handleAppend(args appendArgs) appendReply {
+	// Pre-encode every entry before taking the lock: encoding is pure
+	// CPU work, and a catch-up round can carry thousands of entries —
+	// serializing that with elections and heartbeats under n.mu would
+	// stall the whole node. Entries that turn out to be duplicates cost
+	// a wasted encode, which only happens on rare overlap.
+	encoded := make([][]byte, len(args.Entries))
+	for i, e := range args.Entries {
+		p, err := gobEncode(e)
+		if err != nil {
+			return appendReply{Term: args.Term, OK: false}
+		}
+		encoded[i] = append([]byte{recEntry}, p...)
+	}
+
 	n.mu.Lock()
 	if args.Term < n.term {
 		defer n.mu.Unlock()
@@ -164,7 +178,7 @@ func (n *Node) handleAppend(args appendArgs) appendReply {
 		return appendReply{Term: args.Term, OK: false, Match: hint}
 	}
 	// Append entries, truncating any conflicting suffix.
-	var toPersist []Entry
+	var payloads [][]byte
 	for i, e := range args.Entries {
 		idx := args.PrevIndex + uint64(i) + 1
 		if idx <= uint64(len(n.log)) {
@@ -177,30 +191,61 @@ func (n *Node) handleAppend(args appendArgs) appendReply {
 			}
 		}
 		n.log = append(n.log, e)
-		toPersist = append(toPersist, e)
+		payloads = append(payloads, encoded[i])
 	}
 	match := args.PrevIndex + uint64(len(args.Entries))
+
+	// Enqueue the round's WAL insertion while still holding n.mu so the
+	// image order matches the memory log's truncate/append order — a
+	// concurrent round (or a deposed leader's in-flight proposal) must
+	// not slip its records in between. The fsync wait happens outside
+	// the lock; the reply is sent only after our disk write, as the
+	// paper requires ("All certifiers write the new state to disk and
+	// reply").
+	var waitDurable func() error
+	var err error
+	if len(payloads) > 0 {
+		waitDurable, err = n.wal.AppendBatchAsync(payloads)
+	} else if match > n.stableIndex {
+		// Duplicate round or heartbeat covering entries we hold only in
+		// memory: their WAL records were enqueued when they were first
+		// appended (memory and WAL order are locked together), but the
+		// fsync may still be in flight — and the reply below vouches
+		// durability, so wait for the barrier rather than ack early.
+		waitDurable, err = n.wal.Barrier()
+	}
+	if err != nil {
+		n.mu.Unlock()
+		return appendReply{Term: args.Term, OK: false}
+	}
 	n.mu.Unlock()
 
-	// Persist the whole round with one group-committed batch; ack
-	// only after our disk write, as the paper requires ("All
-	// certifiers write the new state to disk and reply").
-	if len(toPersist) > 0 {
-		payloads := make([][]byte, 0, len(toPersist))
-		for _, e := range toPersist {
-			p, err := gobEncode(e)
-			if err != nil {
-				return appendReply{Term: args.Term, OK: false}
-			}
-			payloads = append(payloads, append([]byte{recEntry}, p...))
-		}
-		if err := n.wal.AppendBatch(payloads); err != nil {
+	if waitDurable != nil {
+		if err := waitDurable(); err != nil {
 			return appendReply{Term: args.Term, OK: false}
 		}
 	}
 
 	n.mu.Lock()
-	if match > n.stableIndex && match <= uint64(len(n.log)) {
+	// Advance stableIndex only if the log still holds what this round
+	// delivered: while we waited for the fsync, a newer leader's round
+	// may have truncated and swapped in entries whose own flush is
+	// still pending — vouching for those would ack durability we do
+	// not have. Same-term entries at the same index are identical
+	// (one leader per term), so the term check is sufficient.
+	intact := match <= uint64(len(n.log))
+	if intact && match > 0 {
+		if len(args.Entries) > 0 {
+			intact = n.log[match-1].Term == args.Entries[len(args.Entries)-1].Term
+		} else {
+			// Zero-entry round (heartbeat): the entry at match must
+			// still be the one the consistency check saw, or a
+			// truncation during the barrier wait swapped in records
+			// whose own fsync is pending.
+			intact = n.log[match-1].Term == args.PrevTerm
+		}
+	}
+	if intact && match > n.stableIndex {
 		n.stableIndex = match
 	}
 	if args.Commit > n.commitIndex {
@@ -342,7 +387,7 @@ func (n *Node) becomeLeader(term uint64) {
 	}
 	// Our whole local log is stable (it was recovered from / written
 	// through the WAL) except volatile leader appends, which track via
-	// persistEntry. Conservative: keep current stableIndex.
+	// finishPersist. Conservative: keep current stableIndex.
 	n.mu.Unlock()
 	n.broadcastAppend()
 }

@@ -52,6 +52,7 @@ var ErrCorrupt = errors.New("wal: corrupt frame")
 
 type appendReq struct {
 	payload []byte
+	barrier bool // no payload; done closes once prior records are durable
 	done    chan struct{}
 }
 
@@ -132,18 +133,26 @@ func (w *WAL) writerLoop() {
 		}
 		batch := w.pending
 		w.pending = nil
-		var bytes int
+		var bytes, recs int
 		for i := range batch {
+			if batch[i].barrier {
+				continue
+			}
 			w.appendFrameLocked(batch[i].payload)
 			bytes += frameHeader + len(batch[i].payload)
+			recs++
 		}
 		target := len(w.buf)
 		targetRecords := w.records
+		needFsync := target > w.stable
 		w.mu.Unlock()
 
 		// The fsync happens outside the lock so new appends can queue
-		// behind this group while the disk is busy.
-		w.disk.Fsync(len(batch), bytes)
+		// behind this group while the disk is busy. A batch of only
+		// barriers on an already-stable log flushes nothing.
+		if needFsync {
+			w.disk.Fsync(recs, bytes)
+		}
 
 		w.mu.Lock()
 		if target > w.stable {
@@ -163,20 +172,36 @@ func (w *WAL) writerLoop() {
 // every record is durable. A paxos follower persisting the entries of
 // one replication round uses this to pay one disk flush, not N.
 func (w *WAL) AppendBatch(payloads [][]byte) error {
+	wait, err := w.AppendBatchAsync(payloads)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// AppendBatchAsync is AppendBatch split at its ordering point: it
+// returns as soon as the records occupy their slots in the log order,
+// and the returned wait function blocks until every one of them is
+// durable. A caller that must keep consecutive batches in log order
+// without serializing on fsync completion (a replication leader
+// persisting back-to-back rounds) enqueues each batch in order and
+// waits afterwards — batches still share fsyncs through the writer's
+// group commit.
+func (w *WAL) AppendBatchAsync(payloads [][]byte) (wait func() error, err error) {
 	if len(payloads) == 0 {
-		return nil
+		return func() error { return nil }, nil
 	}
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	if w.mode == NoSync {
 		for _, p := range payloads {
 			w.appendFrameLocked(p)
 		}
 		w.mu.Unlock()
-		return nil
+		return func() error { return nil }, nil
 	}
 	reqs := make([]appendReq, len(payloads))
 	for i, p := range payloads {
@@ -185,10 +210,37 @@ func (w *WAL) AppendBatch(payloads [][]byte) error {
 	}
 	w.cond.Signal()
 	w.mu.Unlock()
-	for i := range reqs {
-		<-reqs[i].done
+	return func() error {
+		for i := range reqs {
+			<-reqs[i].done
+		}
+		return nil
+	}, nil
+}
+
+// Barrier returns a function that blocks until every record appended
+// before the call is durable — trivially immediate in NoSync mode or
+// on a clean log. A replication follower acking a round it already
+// holds in memory uses this to avoid vouching for records whose fsync
+// is still in flight.
+func (w *WAL) Barrier() (wait func() error, err error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, ErrClosed
 	}
-	return nil
+	if w.mode == NoSync || (w.stable == len(w.buf) && len(w.pending) == 0) {
+		w.mu.Unlock()
+		return func() error { return nil }, nil
+	}
+	req := appendReq{barrier: true, done: make(chan struct{})}
+	w.pending = append(w.pending, req)
+	w.cond.Signal()
+	w.mu.Unlock()
+	return func() error {
+		<-req.done
+		return nil
+	}, nil
 }
 
 // SyncNow forces an fsync covering everything appended so far. It is
@@ -200,14 +252,21 @@ func (w *WAL) SyncNow() error {
 		w.mu.Unlock()
 		return ErrClosed
 	}
+	// The byte and record deltas must come from one critical section: a
+	// concurrent writer-loop flush between two separate lock
+	// acquisitions could otherwise make the record delta negative. (A
+	// flush racing the Fsync below can still report the same records
+	// twice — that mirrors the genuinely redundant device flush, and
+	// never goes negative.)
 	target := len(w.buf)
 	targetRecords := w.records
 	pendingBytes := target - w.stable
+	pendingRecords := targetRecords - w.stableRecords
 	w.mu.Unlock()
 	if pendingBytes <= 0 {
 		return nil
 	}
-	w.disk.Fsync(targetRecords-w.stableRecordsSnapshot(), pendingBytes)
+	w.disk.Fsync(pendingRecords, pendingBytes)
 	w.mu.Lock()
 	if target > w.stable {
 		w.stable = target
@@ -215,12 +274,6 @@ func (w *WAL) SyncNow() error {
 	}
 	w.mu.Unlock()
 	return nil
-}
-
-func (w *WAL) stableRecordsSnapshot() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.stableRecords
 }
 
 // Close stops the writer goroutine after draining queued appends.

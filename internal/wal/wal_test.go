@@ -104,6 +104,117 @@ func TestSyncNowIdempotentWhenClean(t *testing.T) {
 	}
 }
 
+func TestBarrierCoversPriorAppends(t *testing.T) {
+	// A barrier's wait must not return before every record appended
+	// ahead of it is durable.
+	d := simdisk.New(simdisk.Profile{FsyncLatency: 2 * time.Millisecond}, 5)
+	w := New(d, SyncCommits)
+	defer w.Close()
+	const k = 8
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+				t.Errorf("append: %v", err)
+			}
+		}()
+	}
+	// Give the appends a moment to enqueue, then barrier.
+	time.Sleep(time.Millisecond)
+	enqueued := w.Records()
+	wait, err := w.Barrier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.StableRecords(); got < enqueued {
+		t.Errorf("barrier returned with %d stable of %d enqueued", got, enqueued)
+	}
+	wg.Wait()
+
+	// A clean log's barrier is immediate and flushes nothing.
+	if err := w.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats().Fsyncs
+	wait, err = w.Barrier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if f := d.Stats().Fsyncs; f != before {
+		t.Errorf("clean-log barrier issued %d extra fsyncs", f-before)
+	}
+}
+
+func TestBarrierNoSyncImmediate(t *testing.T) {
+	w := New(instantDisk(), NoSync)
+	defer w.Close()
+	if err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	wait, err := w.Barrier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if w.StableRecords() != 0 {
+		t.Error("NoSync barrier must not flush")
+	}
+}
+
+func TestSyncNowAccountingUnderConcurrentFlushes(t *testing.T) {
+	// SyncNow computes the record delta it reports to the disk in one
+	// critical section; racing it against writer-loop flushes must
+	// never produce a negative delta (simdisk panics on one) and the
+	// records reported synced must cover everything marked stable.
+	d := instantDisk()
+	w := New(d, SyncCommits)
+	defer w.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := w.Append([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		if err := w.SyncNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := w.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Stats().RecordsSynced, int64(w.StableRecords()); got < want {
+		t.Errorf("disk accounting covers %d records, but %d are stable", got, want)
+	}
+}
+
 func TestGroupCommitBatchesConcurrentAppends(t *testing.T) {
 	// With a slow fsync, concurrent appends must share fsyncs: far
 	// fewer fsyncs than records.
