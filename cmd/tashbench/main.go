@@ -10,12 +10,15 @@
 //	tashbench -exp fig14 -replicas 1,4,8,15
 //	tashbench -exp policies -policy roundrobin,leastinflight,rwsplit
 //	tashbench -exp batching -replicas 1,4,8,15 -maxbatch 256
+//	tashbench -exp readscale -clientsweep 1,2,4,8,16,32
 //
 // Experiments: fig4 (covers Fig 4+5), fig6 (6+7), fig8 (8+9),
 // fig10 (10+11), fig12 (12+13), fig14, standalone (§9.2 text),
 // recovery (§9.6), policies (session-API routing comparison),
 // batching (update-heavy writesets-per-fsync / pipeline batch-size
-// sweep — the paper's headline figure), all.
+// sweep — the paper's headline figure), readscale (single-replica
+// TPC-W client sweep exercising the storage engine's snapshot-read
+// path), all.
 package main
 
 import (
@@ -31,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|all")
 		scale    = flag.Int("scale", 10, "divide paper disk latencies by this factor (1 = full 8ms fsyncs)")
 		replicas = flag.String("replicas", "1,2,4,8,12,15", "comma-separated replica counts to sweep")
 		clients  = flag.Int("clients", 10, "closed-loop clients per replica")
@@ -42,10 +45,17 @@ func main() {
 		maxWait  = flag.Duration("maxwait", 0, "certifier pipeline batch linger (0 = drain-only)")
 		policies = flag.String("policy", "roundrobin,leastinflight,rwsplit",
 			"comma-separated routing policies for -exp policies: roundrobin|leastinflight|rwsplit")
+		clientSweep = flag.String("clientsweep", "1,2,4,8,16,32",
+			"comma-separated client counts for -exp readscale")
 	)
 	flag.Parse()
 
 	counts, err := parseCounts(*replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sweep, err := parseCounts(*clientSweep)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -81,9 +91,10 @@ func main() {
 			_, err := harness.RunPolicyComparison(splitPolicies(*policies), opt)
 			return err
 		},
-		"batching": func() error { _, err := harness.RunBatchingExperiment(opt); return err },
+		"batching":  func() error { _, err := harness.RunBatchingExperiment(opt); return err },
+		"readscale": func() error { _, err := harness.RunReadScaleExperiment(sweep, opt); return err },
 	}
-	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching"}
+	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -14,13 +14,12 @@
 package certifier
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"strings"
 
 	"tashkent/internal/core"
+	"tashkent/internal/transport"
 )
 
 // Method names on the transport.
@@ -155,14 +154,7 @@ func decodeEntryData(data []byte) (origin int, start uint64, ws *core.Writeset, 
 	return origin, start, ws, err
 }
 
-func gobEncode(v interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
+// gobEncode/gobDecode delegate to the transport's pooled codec.
+func gobEncode(v interface{}) ([]byte, error) { return transport.GobEncode(v) }
 
-func gobDecode(b []byte, v interface{}) error {
-	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
-}
+func gobDecode(b []byte, v interface{}) error { return transport.GobDecode(b, v) }

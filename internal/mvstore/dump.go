@@ -43,21 +43,43 @@ const dumpChunkRows = 256
 // Dump produces a consistent snapshot copy of the database labeled
 // with coveredVersion (the replica's global version at the time the
 // middleware requested the dump). The call charges page reads to the
-// data disk in chunks, so concurrent transactions experience realistic
-// shared-channel contention but are never blocked on store mutexes for
-// the duration.
+// data disk in chunks; concurrent transactions only ever contend on
+// brief per-shard read locks. The dump registers a read-only
+// placeholder in the active-transaction registry so inline GC cannot
+// prune the versions its snapshot still needs.
 func (s *Store) Dump(coveredVersion uint64) ([]byte, error) {
-	s.mu.Lock()
-	if s.crashed {
-		s.mu.Unlock()
+	if s.crashed.Load() {
 		return nil, ErrCrashed
 	}
-	snap := s.mvccSeq
-	names := make([]string, 0, len(s.tables))
-	for n := range s.tables {
+	// Pin the snapshot for the duration so inline GC cannot prune the
+	// versions it still needs.
+	snap, unpin := s.pinSnapshot()
+	defer unpin()
+
+	// One pass over the shards collects each live row's version map —
+	// the maps are immutable and the pin keeps them alive, so they can
+	// be serialized after the shard locks are dropped.
+	type dumpRow struct {
+		key  string
+		cols map[string][]byte
+	}
+	rowsByTable := make(map[string][]dumpRow)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for tname, t := range sh.tables {
+			for k, versions := range t {
+				if rv, ok := visibleVersion(versions, snap); ok {
+					rowsByTable[tname] = append(rowsByTable[tname], dumpRow{key: k, cols: rv.cols})
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	names := make([]string, 0, len(rowsByTable))
+	for n := range rowsByTable {
 		names = append(names, n)
 	}
-	s.mu.Unlock()
 	sort.Strings(names)
 
 	buf := append([]byte(nil), dumpMagic...)
@@ -65,25 +87,8 @@ func (s *Store) Dump(coveredVersion uint64) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
 
 	for _, name := range names {
-		s.mu.Lock()
-		t := s.tables[name]
-		keys := make([]string, 0, len(t.rows))
-		for k := range t.rows {
-			keys = append(keys, k)
-		}
-		s.mu.Unlock()
-		sort.Strings(keys)
-
-		// Count live rows first (two passes keeps the format simple).
-		live := make([]string, 0, len(keys))
-		s.mu.Lock()
-		for _, k := range keys {
-			if t.visible(k, snap) != nil {
-				live = append(live, k)
-			}
-		}
-		s.mu.Unlock()
-
+		live := rowsByTable[name]
+		sort.Slice(live, func(i, j int) bool { return live[i].key < live[j].key })
 		buf = appendDumpStr16(buf, name)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(live)))
 
@@ -92,29 +97,20 @@ func (s *Store) Dump(coveredVersion uint64) ([]byte, error) {
 			if end > len(live) {
 				end = len(live)
 			}
-			s.mu.Lock()
-			for _, k := range live[start:end] {
-				rv := t.visible(k, snap)
-				buf = appendDumpStr16(buf, k)
-				if rv == nil {
-					// Row vanished? impossible: versions are append-only
-					// and snap is fixed. Emit empty row defensively.
-					buf = binary.BigEndian.AppendUint16(buf, 0)
-					continue
-				}
-				cols := make([]string, 0, len(rv.cols))
-				for c := range rv.cols {
+			for _, row := range live[start:end] {
+				buf = appendDumpStr16(buf, row.key)
+				cols := make([]string, 0, len(row.cols))
+				for c := range row.cols {
 					cols = append(cols, c)
 				}
 				sort.Strings(cols)
 				buf = binary.BigEndian.AppendUint16(buf, uint16(len(cols)))
 				for _, c := range cols {
 					buf = appendDumpStr16(buf, c)
-					buf = binary.BigEndian.AppendUint32(buf, uint32(len(rv.cols[c])))
-					buf = append(buf, rv.cols[c]...)
+					buf = binary.BigEndian.AppendUint32(buf, uint32(len(row.cols[c])))
+					buf = append(buf, row.cols[c]...)
 				}
 			}
-			s.mu.Unlock()
 			// Charge the sequential scan + dump write to the data disk.
 			s.dataDisk.PageOps((end - start) / 16)
 		}
@@ -145,7 +141,8 @@ func ValidateDump(dump []byte) (coveredVersion uint64, err error) {
 // RestoreDump builds a fresh store from a dump file and returns it
 // with the dump's covered version. The new store starts its MVCC
 // sequence at 1 (every restored row is version 1) and its announce
-// semaphore at coveredVersion.
+// semaphore at coveredVersion. The store is not shared until this
+// returns, so rows are installed without shard locks.
 func RestoreDump(cfg Config, dump []byte) (*Store, uint64, error) {
 	covered, err := ValidateDump(dump)
 	if err != nil {
@@ -156,9 +153,8 @@ func RestoreDump(cfg Config, dump []byte) (*Store, uint64, error) {
 	body := dump[:len(dump)-4]
 	tableCount := int(binary.BigEndian.Uint32(body[pos:]))
 	pos += 4
-	s.mu.Lock()
-	s.mvccSeq = 1
-	s.announced = covered
+	s.seqAlloc.Store(1)
+	s.published.Store(1)
 	for ti := 0; ti < tableCount; ti++ {
 		var name string
 		name, pos, err = readDumpStr16(body, pos)
@@ -171,8 +167,6 @@ func RestoreDump(cfg Config, dump []byte) (*Store, uint64, error) {
 		}
 		rowCount := int(binary.BigEndian.Uint32(body[pos:]))
 		pos += 4
-		t := &table{rows: make(map[string][]rowVersion, rowCount)}
-		s.tables[name] = t
 		for ri := 0; ri < rowCount; ri++ {
 			var key string
 			key, pos, err = readDumpStr16(body, pos)
@@ -208,17 +202,23 @@ func RestoreDump(cfg Config, dump []byte) (*Store, uint64, error) {
 			if err != nil {
 				break
 			}
-			t.rows[key] = []rowVersion{{seq: 1, cols: cols}}
+			sh := s.dataShardOf(name, key)
+			t := sh.tables[name]
+			if t == nil {
+				t = make(map[string][]rowVersion)
+				sh.tables[name] = t
+			}
+			t[key] = []rowVersion{{seq: 1, cols: cols}}
 		}
 		if err != nil {
 			break
 		}
 	}
-	s.mu.Unlock()
 	if err != nil {
 		s.Close()
 		return nil, 0, fmt.Errorf("%w: %v", ErrBadDump, err)
 	}
+	s.advanceAnnounced(covered)
 	// Restoring reads the dump and writes the data files back:
 	// charge sequential IO proportional to size.
 	s.dataDisk.PageOps(len(dump) / 8192)

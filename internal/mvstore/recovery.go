@@ -41,7 +41,8 @@ func RecoverFromWAL(cfg Config, image []byte, base uint64) (*Store, RecoveryInfo
 }
 
 // replayWAL applies every commit record in the image and computes the
-// contiguous coverage chain.
+// contiguous coverage chain. The store is not serving clients yet, so
+// replay is single-threaded.
 func (s *Store) replayWAL(image []byte, base uint64) (RecoveryInfo, error) {
 	payloads, err := wal.Scan(image)
 	if err != nil {
@@ -79,27 +80,23 @@ func (s *Store) replayWAL(image []byte, base uint64) (RecoveryInfo, error) {
 		}
 	}
 	info.CoveredTo = cur
-	s.mu.Lock()
-	if cur > s.announced {
-		s.announced = cur
-	}
-	s.mu.Unlock()
+	s.advanceAnnounced(cur)
 	return info, nil
 }
 
 // applyRecovered installs a recovered writeset directly (no locks: the
-// store is not serving clients during recovery).
+// store is not serving clients during recovery). Chains are pruned to
+// the new version as they go — there are no snapshots to preserve.
 func (s *Store) applyRecovered(rec CommitRecord) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.mvccSeq++
-	seq := s.mvccSeq
+	seq := s.seqAlloc.Add(1)
 	for i := range rec.WS.Ops {
 		op := &rec.WS.Ops[i]
-		t := s.tables[op.Table]
+		sh := s.dataShardOf(op.Table, op.Key)
+		sh.mu.Lock()
+		t := sh.tables[op.Table]
 		if t == nil {
-			t = &table{rows: make(map[string][]rowVersion)}
-			s.tables[op.Table] = t
+			t = make(map[string][]rowVersion)
+			sh.tables[op.Table] = t
 		}
 		rv := rowVersion{seq: seq}
 		switch op.Kind {
@@ -108,7 +105,7 @@ func (s *Store) applyRecovered(rec CommitRecord) {
 		default:
 			base := map[string][]byte{}
 			if op.Kind == core.OpUpdate {
-				if prev := t.visible(op.Key, seq-1); prev != nil {
+				if prev, ok := visibleVersion(t[op.Key], seq-1); ok {
 					for c, v := range prev.cols {
 						base[c] = v
 					}
@@ -119,9 +116,38 @@ func (s *Store) applyRecovered(rec CommitRecord) {
 			}
 			rv.cols = base
 		}
-		t.rows[op.Key] = append(t.rows[op.Key], rv)
+		t[op.Key] = append(t[op.Key], rv)
+		pruneChain(t, op.Key, seq)
+		sh.mu.Unlock()
 	}
-	s.stats.Commits++
+	s.published.Store(seq)
+	s.stats.commits.Add(1)
+}
+
+// latestRows collects, per table, the live rows at snapshot snap from
+// every shard. The cols maps are shared immutable versions.
+func (s *Store) latestRows(snap uint64) map[string]map[string]map[string][]byte {
+	out := make(map[string]map[string]map[string][]byte)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for tname, t := range sh.tables {
+			for k, versions := range t {
+				rv, ok := visibleVersion(versions, snap)
+				if !ok {
+					continue
+				}
+				rows := out[tname]
+				if rows == nil {
+					rows = make(map[string]map[string][]byte)
+					out[tname] = rows
+				}
+				rows[k] = rv.cols
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // Fingerprint returns a CRC-32 over the latest committed state of
@@ -129,41 +155,39 @@ func (s *Store) applyRecovered(rec CommitRecord) {
 // applied the same global prefix produce identical fingerprints; the
 // property tests lean on this heavily.
 func (s *Store) Fingerprint() uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	snap, unpin := s.pinSnapshot()
+	tables := s.latestRows(snap)
+	unpin()
 	h := crc32.NewIEEE()
-	names := make([]string, 0, len(s.tables))
-	for n := range s.tables {
+	names := make([]string, 0, len(tables))
+	for n := range tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	var scratch []byte
 	for _, n := range names {
-		t := s.tables[n]
-		keys := make([]string, 0, len(t.rows))
-		for k := range t.rows {
+		rows := tables[n]
+		keys := make([]string, 0, len(rows))
+		for k := range rows {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			rv := t.visible(k, s.mvccSeq)
-			if rv == nil {
-				continue
-			}
+			rowCols := rows[k]
 			scratch = scratch[:0]
 			scratch = append(scratch, n...)
 			scratch = append(scratch, 0)
 			scratch = append(scratch, k...)
 			scratch = append(scratch, 0)
-			cols := make([]string, 0, len(rv.cols))
-			for c := range rv.cols {
+			cols := make([]string, 0, len(rowCols))
+			for c := range rowCols {
 				cols = append(cols, c)
 			}
 			sort.Strings(cols)
 			for _, c := range cols {
 				scratch = append(scratch, c...)
 				scratch = append(scratch, 1)
-				scratch = append(scratch, rv.cols[c]...)
+				scratch = append(scratch, rowCols[c]...)
 				scratch = append(scratch, 2)
 			}
 			h.Write(scratch)
@@ -175,17 +199,18 @@ func (s *Store) Fingerprint() uint32 {
 // RowCount returns the number of live rows in a table at the latest
 // committed state.
 func (s *Store) RowCount(tableName string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := s.tables[tableName]
-	if t == nil {
-		return 0
-	}
+	snap, unpin := s.pinSnapshot()
+	defer unpin()
 	n := 0
-	for k := range t.rows {
-		if t.visible(k, s.mvccSeq) != nil {
-			n++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, versions := range sh.tables[tableName] {
+			if _, ok := visibleVersion(versions, snap); ok {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }

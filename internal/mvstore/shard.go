@@ -1,0 +1,186 @@
+package mvstore
+
+// Lock-striped layout. The single global store mutex of the original
+// engine serialized every row read, Begin and lock operation; under a
+// read-mostly TPC-W mix that made one replica unable to use even its
+// own cores (and paid a mutex round trip plus a defensive column-map
+// clone per row read). The engine now splits that one lock into
+// independent fine-grained domains:
+//
+//   - dataShard: row version chains, hash-striped by (table, key),
+//     each under its own RWMutex. Snapshot reads take only the shard
+//     read lock.
+//   - lockStripe: the write-lock manager, striped the same way. The
+//     waits-for deadlock graph needs a global view, so it lives under
+//     its own small mutex (Store.waitMu).
+//   - activeStripe: the registry of in-flight transactions, striped by
+//     transaction id, consulted by GC (min active snapshot), Kill,
+//     ConflictingActiveTxns and Crash.
+//
+// Commit publication keeps snapshots consistent without a global lock:
+// a committer allocates seq from the atomic Store.seqAlloc, installs
+// every row version stamped seq (per-shard write locks), and only then
+// publishes seq — strictly in order — by advancing Store.published.
+// New snapshots read Store.published, so a reader can never observe a
+// torn commit: versions above its snapshot are simply skipped during
+// chain scans.
+
+import (
+	"sync"
+
+	"tashkent/internal/core"
+)
+
+// defaultStripes is the shard/stripe count used when Config.Stripes is
+// zero. Power of two so the hash can mask instead of mod.
+const defaultStripes = 64
+
+// rowVersion is one MVCC version of a row. seq is the store-internal
+// commit sequence that created it. cols is immutable once the version
+// is installed; readers hand it out without cloning.
+type rowVersion struct {
+	seq     uint64
+	deleted bool
+	cols    map[string][]byte
+}
+
+// dataShard holds the version chains of the rows hashed onto it:
+// table name → key → versions, newest last.
+type dataShard struct {
+	mu     sync.RWMutex
+	tables map[string]map[string][]rowVersion
+}
+
+// lockStripe is one stripe of the write-lock manager.
+type lockStripe struct {
+	mu    sync.Mutex
+	locks map[core.ItemID]*lockState
+}
+
+// activeStripe is one stripe of the in-flight transaction registry.
+type activeStripe struct {
+	mu  sync.Mutex
+	txs map[uint64]*Tx
+}
+
+// itemHash is FNV-1a over table, a separator, and key. It must be
+// allocation-free: it runs once per row read.
+func itemHash(table, key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(table); i++ {
+		h = (h ^ uint32(table[i])) * 16777619
+	}
+	h *= 16777619 // separator octet 0x00
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
+}
+
+func (s *Store) dataShardOf(table, key string) *dataShard {
+	return &s.shards[itemHash(table, key)&s.stripeMask]
+}
+
+func (s *Store) lockStripeOf(item core.ItemID) *lockStripe {
+	return &s.lockStripes[itemHash(item.Table, item.Key)&s.stripeMask]
+}
+
+func (s *Store) activeStripeOf(txID uint64) *activeStripe {
+	return &s.activeStripes[uint32(txID)&s.stripeMask]
+}
+
+// visibleVersion returns the newest version with seq <= snapshot. ok
+// is false if no such version exists or it is a deletion tombstone.
+func visibleVersion(versions []rowVersion, snapshot uint64) (rowVersion, bool) {
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i].seq <= snapshot {
+			if versions[i].deleted {
+				return rowVersion{}, false
+			}
+			return versions[i], true
+		}
+	}
+	return rowVersion{}, false
+}
+
+// readCommitted returns the committed columns of a row visible at
+// snapshot, under the owning shard's read lock. The returned map is a
+// shared immutable version; callers must not modify it.
+func (s *Store) readCommitted(table, key string, snapshot uint64) (map[string][]byte, bool) {
+	sh := s.dataShardOf(table, key)
+	sh.mu.RLock()
+	rv, ok := visibleVersion(sh.tables[table][key], snapshot)
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return rv.cols, true
+}
+
+// pruneChain drops row versions no active snapshot can see: everything
+// older than the newest version with seq <= minSnap. A row whose only
+// remaining version is an old tombstone is removed entirely. Caller
+// holds the shard write lock.
+func pruneChain(t map[string][]rowVersion, key string, minSnap uint64) {
+	versions := t[key]
+	if len(versions) <= 1 {
+		if len(versions) == 1 && versions[0].deleted && versions[0].seq <= minSnap {
+			delete(t, key)
+		}
+		return
+	}
+	idx := -1
+	for i := len(versions) - 1; i >= 0; i-- {
+		if versions[i].seq <= minSnap {
+			idx = i
+			break
+		}
+	}
+	if idx <= 0 {
+		return
+	}
+	kept := versions[idx:]
+	if len(kept) == 1 && kept[0].deleted && kept[0].seq <= minSnap {
+		delete(t, key)
+		return
+	}
+	// Copy down in place so the backing array can shrink over time.
+	// Readers are unaffected: they copy rowVersion values (and the
+	// cols maps those reference are immutable), never slot pointers.
+	copy(versions, kept)
+	t[key] = versions[:len(kept)]
+}
+
+// installWrite appends one committed row version stamped seq and
+// prunes the chain, under the owning shard's write lock. For updates
+// the new version's columns are the previous visible version's columns
+// merged with the modified ones (full-row versions keep reads O(1)).
+func (s *Store) installWrite(item core.ItemID, pw *pendingWrite, seq, minSnap uint64) {
+	sh := s.dataShardOf(item.Table, item.Key)
+	sh.mu.Lock()
+	t := sh.tables[item.Table]
+	if t == nil {
+		t = make(map[string][]rowVersion)
+		sh.tables[item.Table] = t
+	}
+	rv := rowVersion{seq: seq, deleted: pw.deleted}
+	if !pw.deleted {
+		base := map[string][]byte{}
+		if pw.kind == core.OpUpdate {
+			// Same-key installs are serialized by the row write lock,
+			// so every earlier version of this key is already present.
+			if prev, ok := visibleVersion(t[item.Key], seq-1); ok {
+				for c, v := range prev.cols {
+					base[c] = v
+				}
+			}
+		}
+		for c, v := range pw.cols {
+			base[c] = v
+		}
+		rv.cols = base
+	}
+	t[item.Key] = append(t[item.Key], rv)
+	pruneChain(t, item.Key, minSnap)
+	sh.mu.Unlock()
+}

@@ -28,12 +28,22 @@
 //   - DUMP/RESTORE for middleware-driven recovery, WAL replay
 //     recovery, and crash simulation with or without physical data
 //     integrity (paper §7.1 cases 1 and 2).
+//
+// Internally the engine is lock-striped: row version chains and the
+// write-lock manager are hash-striped across shards with independent
+// (RW)mutexes, snapshots are taken from an atomic published commit
+// sequence, and the remaining global concerns — commit publication
+// order, the commit-order semaphore, the waits-for deadlock graph —
+// each live under their own small lock. Snapshot reads therefore never
+// touch a global mutex. See shard.go for the layout and the
+// commit-publication invariant.
 package mvstore
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tashkent/internal/core"
@@ -99,25 +109,16 @@ type Config struct {
 	LockTimeout time.Duration
 	// OrderTimeout bounds CommitOrdered announce waits (0 = default).
 	OrderTimeout time.Duration
+	// Stripes sets the data-shard / lock-stripe count, rounded up to a
+	// power of two (0 = 64). Lowering it is only useful in tests that
+	// want to force cross-shard interleavings onto few stripes.
+	Stripes int
 }
 
 const (
 	defaultLockTimeout  = 10 * time.Second
 	defaultOrderTimeout = 10 * time.Second
 )
-
-// rowVersion is one MVCC version of a row. seq is the store-internal
-// commit sequence that created it.
-type rowVersion struct {
-	seq     uint64
-	deleted bool
-	cols    map[string][]byte
-}
-
-// table holds the version chains of its rows, newest last.
-type table struct {
-	rows map[string][]rowVersion
-}
 
 // lockWaiter is one transaction blocked on a write lock.
 type lockWaiter struct {
@@ -150,26 +151,58 @@ type Stats struct {
 	RowWrites       int64
 }
 
+// statsCounters are the live activity counters, all atomic so hot
+// paths never serialize on a stats lock.
+type statsCounters struct {
+	commits         atomic.Int64
+	readOnlyCommits atomic.Int64
+	aborts          atomic.Int64
+	deadlocks       atomic.Int64
+	writeConflicts  atomic.Int64
+	kills           atomic.Int64
+	rowReads        atomic.Int64
+	rowWrites       atomic.Int64
+}
+
 // Store is one database instance. All methods are safe for concurrent
 // use by many client sessions.
 type Store struct {
-	cfg Config
+	cfg        Config
+	stripeMask uint32
 
-	mu             sync.Mutex
-	tables         map[string]*table
-	mvccSeq        uint64 // internal commit sequence: stamps row versions & snapshots
-	announced      uint64 // commit-order semaphore value (global version space)
-	nextTxID       uint64
-	active         map[uint64]*Tx
-	locks          map[core.ItemID]*lockState
-	waitsFor       map[uint64]uint64 // blocked tx → lock holder it waits on
-	orderWait      []orderWaiter
-	crashed        bool
-	crashCh        chan struct{} // closed on crash, unblocks waiters
-	stats          Stats
-	readTick       int   // page-miss modelling counter
-	dirtyTick      int64 // checkpoint modelling counter
-	failNextCommit int32 // fault injection: reject next N commits
+	shards        []dataShard    // row version chains
+	lockStripes   []lockStripe   // write-lock manager
+	activeStripes []activeStripe // in-flight transaction registry
+
+	// Commit sequencing: seqAlloc hands out install sequences,
+	// published is the highest fully installed prefix (what new
+	// snapshots read). published only ever advances by one, in seq
+	// order, under pubMu (see Tx.applyCommit).
+	seqAlloc  atomic.Uint64
+	published atomic.Uint64
+	pubMu     sync.Mutex
+	pubCond   *sync.Cond
+
+	// Commit-order semaphore (global version space).
+	announced atomic.Uint64 // read lock-free; advanced under orderMu
+	orderMu   sync.Mutex
+	orderWait []orderWaiter
+
+	// Waits-for deadlock graph: blocked tx → lock holder it waits on.
+	// Edges are added and removed only by the waiting transaction.
+	waitMu   sync.Mutex
+	waitsFor map[uint64]uint64
+
+	nextTxID atomic.Uint64
+
+	crashMu sync.Mutex // serializes the crash/close transition
+	crashed atomic.Bool
+	crashCh chan struct{} // closed on crash, unblocks waiters
+
+	stats          statsCounters
+	readTick       atomic.Int64 // page-miss modelling counter
+	dirtyTick      atomic.Int64 // checkpoint modelling counter
+	failNextCommit atomic.Int32 // fault injection: reject next N commits
 
 	log      *wal.WAL
 	dataDisk *simdisk.Disk
@@ -193,223 +226,296 @@ func Open(cfg Config) *Store {
 	if cfg.OrderTimeout == 0 {
 		cfg.OrderTimeout = defaultOrderTimeout
 	}
-	return &Store{
-		cfg:      cfg,
-		tables:   make(map[string]*table),
-		active:   make(map[uint64]*Tx),
-		locks:    make(map[core.ItemID]*lockState),
-		waitsFor: make(map[uint64]uint64),
-		crashCh:  make(chan struct{}),
-		log:      wal.New(cfg.LogDisk, cfg.WALMode),
-		dataDisk: cfg.DataDisk,
-		logDisk:  cfg.LogDisk,
+	stripes := cfg.Stripes
+	if stripes <= 0 {
+		stripes = defaultStripes
 	}
+	for stripes&(stripes-1) != 0 {
+		stripes++
+	}
+	s := &Store{
+		cfg:           cfg,
+		stripeMask:    uint32(stripes - 1),
+		shards:        make([]dataShard, stripes),
+		lockStripes:   make([]lockStripe, stripes),
+		activeStripes: make([]activeStripe, stripes),
+		waitsFor:      make(map[uint64]uint64),
+		crashCh:       make(chan struct{}),
+		log:           wal.New(cfg.LogDisk, cfg.WALMode),
+		dataDisk:      cfg.DataDisk,
+		logDisk:       cfg.LogDisk,
+	}
+	s.pubCond = sync.NewCond(&s.pubMu)
+	for i := range s.shards {
+		s.shards[i].tables = make(map[string]map[string][]rowVersion)
+	}
+	for i := range s.lockStripes {
+		s.lockStripes[i].locks = make(map[core.ItemID]*lockState)
+	}
+	for i := range s.activeStripes {
+		s.activeStripes[i].txs = make(map[uint64]*Tx)
+	}
+	return s
 }
 
 // Stats returns a snapshot of activity counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Commits:         s.stats.commits.Load(),
+		ReadOnlyCommits: s.stats.readOnlyCommits.Load(),
+		Aborts:          s.stats.aborts.Load(),
+		Deadlocks:       s.stats.deadlocks.Load(),
+		WriteConflicts:  s.stats.writeConflicts.Load(),
+		Kills:           s.stats.kills.Load(),
+		RowReads:        s.stats.rowReads.Load(),
+		RowWrites:       s.stats.rowWrites.Load(),
+	}
 }
 
 // AnnouncedVersion returns the current value of the commit-order
 // semaphore (the highest globally ordered version announced by
 // CommitOrdered, or whatever SetAnnounced established at recovery).
 func (s *Store) AnnouncedVersion() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.announced
+	return s.announced.Load()
 }
 
 // SetAnnounced initializes the commit-order semaphore, used when a
 // recovered replica rejoins at a nonzero global version.
 func (s *Store) SetAnnounced(v uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if v > s.announced {
-		s.announced = v
-		s.wakeOrderWaitersLocked()
-	}
+	s.advanceAnnounced(v)
 }
 
-// InternalSeq returns the store's internal MVCC commit sequence.
+// advanceAnnounced raises the commit-order semaphore and releases
+// waiters whose from version has been reached.
+func (s *Store) advanceAnnounced(v uint64) {
+	s.orderMu.Lock()
+	if v > s.announced.Load() {
+		s.announced.Store(v)
+		kept := s.orderWait[:0]
+		for _, w := range s.orderWait {
+			if w.from <= v {
+				close(w.ch)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		s.orderWait = kept
+	}
+	s.orderMu.Unlock()
+}
+
+// InternalSeq returns the store's internal MVCC commit sequence (the
+// published prefix — what a new snapshot would read).
 func (s *Store) InternalSeq() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mvccSeq
+	return s.published.Load()
 }
 
 // ActiveTxns returns the number of in-flight transactions.
 func (s *Store) ActiveTxns() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.active)
+	n := 0
+	for i := range s.activeStripes {
+		st := &s.activeStripes[i]
+		st.mu.Lock()
+		n += len(st.txs)
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // FailNextCommit arms fault injection: the next n update commits are
 // rejected with ErrCommitRejected after their WAL append, exercising
 // the middleware's soft-recovery path.
 func (s *Store) FailNextCommit(n int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.failNextCommit = int32(n)
+	s.failNextCommit.Store(int32(n))
+}
+
+// consumeFailNextCommit reports whether this commit should be rejected
+// by the armed fault injection.
+func (s *Store) consumeFailNextCommit() bool {
+	for {
+		v := s.failNextCommit.Load()
+		if v <= 0 {
+			return false
+		}
+		if s.failNextCommit.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
 }
 
 // Begin starts a transaction against the latest committed snapshot.
 func (s *Store) Begin() (*Tx, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.crashed {
+	if s.crashed.Load() {
 		return nil, ErrCrashed
 	}
-	s.nextTxID++
-	tx := &Tx{
-		store:    s,
-		id:       s.nextTxID,
-		snapshot: s.mvccSeq,
-		writes:   make(map[core.ItemID]*pendingWrite),
+	id := s.nextTxID.Add(1)
+	tx := &Tx{store: s, id: id}
+	st := s.activeStripeOf(id)
+	st.mu.Lock()
+	// Snapshot inside the registry lock: a committer computing the GC
+	// floor scans this stripe under the same lock, so it either sees
+	// this transaction or finishes its scan before the snapshot here is
+	// taken (and the snapshot is then >= the floor it pruned with).
+	tx.snapshot = s.published.Load()
+	st.txs[id] = tx
+	st.mu.Unlock()
+	if s.crashed.Load() {
+		// Crash raced with registration and its kill sweep may have
+		// missed us; take ourselves back out.
+		s.unregister(id)
+		return nil, ErrCrashed
 	}
-	s.active[tx.id] = tx
 	return tx, nil
 }
 
-// minActiveSnapshotLocked returns the oldest snapshot any active
-// transaction reads from; row versions at or below it, except the
-// newest such version, are unreachable and can be garbage collected
-// (PostgreSQL's vacuum, done inline).
-func (s *Store) minActiveSnapshotLocked() uint64 {
-	min := s.mvccSeq
-	for _, tx := range s.active {
-		if tx.snapshot < min {
-			min = tx.snapshot
+// pinSnapshot registers a read-only placeholder in the active
+// registry (same protocol as Begin, so the GC-floor ordering argument
+// applies) and returns the pinned snapshot. Long multi-shard scans —
+// Dump, Fingerprint, RowCount — use it so prune-on-commit cannot drop
+// versions their snapshot still needs mid-scan. unpin releases it.
+func (s *Store) pinSnapshot() (snap uint64, unpin func()) {
+	pin := &Tx{store: s, id: s.nextTxID.Add(1)}
+	st := s.activeStripeOf(pin.id)
+	st.mu.Lock()
+	pin.snapshot = s.published.Load()
+	st.txs[pin.id] = pin
+	st.mu.Unlock()
+	return pin.snapshot, func() { s.unregister(pin.id) }
+}
+
+// unregister removes a finished transaction from the active registry.
+func (s *Store) unregister(txID uint64) {
+	st := s.activeStripeOf(txID)
+	st.mu.Lock()
+	delete(st.txs, txID)
+	st.mu.Unlock()
+}
+
+// minActiveSnapshot returns the oldest snapshot any active transaction
+// reads from; row versions at or below it, except the newest such
+// version, are unreachable and can be garbage collected (PostgreSQL's
+// vacuum, done inline at commit). The published floor is loaded before
+// the registry scan — see Begin for why that ordering makes the prune
+// safe against concurrently starting readers.
+func (s *Store) minActiveSnapshot() uint64 {
+	min := s.published.Load()
+	for i := range s.activeStripes {
+		st := &s.activeStripes[i]
+		st.mu.Lock()
+		for _, tx := range st.txs {
+			if tx.snapshot < min {
+				min = tx.snapshot
+			}
 		}
+		st.mu.Unlock()
 	}
 	return min
-}
-
-// prune drops row versions no active snapshot can see: everything
-// older than the newest version with seq <= minSnap. A row whose only
-// remaining version is an old tombstone is removed entirely.
-func (t *table) prune(key string, minSnap uint64) {
-	versions := t.rows[key]
-	if len(versions) <= 1 {
-		if len(versions) == 1 && versions[0].deleted && versions[0].seq <= minSnap {
-			delete(t.rows, key)
-		}
-		return
-	}
-	idx := -1
-	for i := len(versions) - 1; i >= 0; i-- {
-		if versions[i].seq <= minSnap {
-			idx = i
-			break
-		}
-	}
-	if idx <= 0 {
-		return
-	}
-	kept := versions[idx:]
-	if len(kept) == 1 && kept[0].deleted && kept[0].seq <= minSnap {
-		delete(t.rows, key)
-		return
-	}
-	// Copy down in place so the backing array can shrink over time.
-	copy(versions, kept)
-	t.rows[key] = versions[:len(kept)]
-}
-
-// visibleLocked returns the newest row version with seq <= snapshot.
-func (t *table) visible(key string, snapshot uint64) *rowVersion {
-	versions := t.rows[key]
-	for i := len(versions) - 1; i >= 0; i-- {
-		if versions[i].seq <= snapshot {
-			if versions[i].deleted {
-				return nil
-			}
-			return &versions[i]
-		}
-	}
-	return nil
 }
 
 // acquireLock obtains the write lock on item for tx, blocking behind a
 // current holder. It returns ErrWriteConflict if the holder commits,
 // ErrDeadlock on a waits-for cycle, ErrLockTimeout after
 // Config.LockTimeout, and ErrTxKilled/ErrCrashed as appropriate.
-// Called without s.mu held.
 func (s *Store) acquireLock(tx *Tx, item core.ItemID) error {
+	st := s.lockStripeOf(item)
 	deadline := time.Now().Add(s.cfg.LockTimeout)
+	// One reusable timer for the whole wait (a retry loop of
+	// time.After calls would leak a pending timer per iteration until
+	// the deadline fires).
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
-		s.mu.Lock()
-		if s.crashed {
-			s.mu.Unlock()
+		if s.crashed.Load() {
 			return ErrCrashed
 		}
-		if tx.killed {
-			s.mu.Unlock()
+		if tx.state.Load() == txKilled {
 			return ErrTxKilled
 		}
-		ls := s.locks[item]
+		st.mu.Lock()
+		ls := st.locks[item]
 		if ls == nil {
-			s.locks[item] = &lockState{holder: tx.id}
+			// Grant. The held-list append and the kill check are one
+			// critical section, so Kill either sees this lock in
+			// tx.held or prevents the grant.
+			tx.mu.Lock()
+			if tx.state.Load() == txKilled {
+				tx.mu.Unlock()
+				st.mu.Unlock()
+				return ErrTxKilled
+			}
+			st.locks[item] = &lockState{holder: tx.id}
 			tx.held = append(tx.held, item)
-			s.mu.Unlock()
+			tx.mu.Unlock()
+			st.mu.Unlock()
 			return nil
 		}
 		if ls.holder == tx.id {
-			s.mu.Unlock()
+			st.mu.Unlock()
 			return nil
 		}
-		// Would block: deadlock check on the waits-for graph.
-		if s.wouldDeadlockLocked(tx.id, ls.holder) {
-			s.stats.Deadlocks++
-			s.mu.Unlock()
+		// Would block: register the edge and run the deadlock check
+		// while still holding the stripe lock, so the graph cannot
+		// miss a cycle formed by two concurrent blockers.
+		s.waitMu.Lock()
+		if s.wouldDeadlock(tx.id, ls.holder) {
+			s.waitMu.Unlock()
+			st.mu.Unlock()
+			s.stats.deadlocks.Add(1)
 			return ErrDeadlock
 		}
+		s.waitsFor[tx.id] = ls.holder
+		s.waitMu.Unlock()
 		w := lockWaiter{txID: tx.id, ch: make(chan error, 1)}
 		ls.waiters = append(ls.waiters, w)
-		s.waitsFor[tx.id] = ls.holder
-		crashCh := s.crashCh
-		s.mu.Unlock()
+		st.mu.Unlock()
 
+		if timer == nil {
+			timer = time.NewTimer(time.Until(deadline))
+		} else {
+			timer.Reset(time.Until(deadline))
+		}
 		var err error
 		var timedOut bool
 		select {
 		case err = <-w.ch:
-		case <-time.After(time.Until(deadline)):
+		case <-timer.C:
 			timedOut = true
-		case <-crashCh:
+		case <-s.crashCh:
 			err = ErrCrashed
 		}
-
-		s.mu.Lock()
+		if !timedOut && !timer.Stop() {
+			<-timer.C // drain so the next Reset starts clean
+		}
+		s.waitMu.Lock()
 		delete(s.waitsFor, tx.id)
+		s.waitMu.Unlock()
 		if timedOut {
+			st.mu.Lock()
 			// Remove ourselves from the waiter queue unless a signal
 			// raced in (then honor the signal instead).
 			select {
 			case err = <-w.ch:
 			default:
-				s.removeWaiterLocked(item, tx.id)
-				s.mu.Unlock()
+				s.removeWaiterLocked(st, item, tx.id)
+				st.mu.Unlock()
 				return ErrLockTimeout
 			}
+			st.mu.Unlock()
 		}
-		s.mu.Unlock()
 		if err != nil {
-			if errors.Is(err, ErrWriteConflict) {
-				// counted at signal time
-			}
 			return err
 		}
 		// Holder aborted; retry acquisition.
 	}
 }
 
-// wouldDeadlockLocked reports whether making waiter wait on holder
-// closes a cycle in the waits-for graph.
-func (s *Store) wouldDeadlockLocked(waiter, holder uint64) bool {
+// wouldDeadlock reports whether making waiter wait on holder closes a
+// cycle in the waits-for graph. Caller holds s.waitMu.
+func (s *Store) wouldDeadlock(waiter, holder uint64) bool {
 	seen := 0
 	cur := holder
 	for {
@@ -427,8 +533,10 @@ func (s *Store) wouldDeadlockLocked(waiter, holder uint64) bool {
 	}
 }
 
-func (s *Store) removeWaiterLocked(item core.ItemID, txID uint64) {
-	ls := s.locks[item]
+// removeWaiterLocked drops txID from item's waiter queue. Caller holds
+// the stripe lock.
+func (s *Store) removeWaiterLocked(st *lockStripe, item core.ItemID, txID uint64) {
+	ls := st.locks[item]
 	if ls == nil {
 		return
 	}
@@ -440,33 +548,46 @@ func (s *Store) removeWaiterLocked(item core.ItemID, txID uint64) {
 	}
 }
 
-// releaseLocksLocked frees all locks held by tx. If committed, waiters
-// receive ErrWriteConflict (first-committer-wins); if aborted, they
-// receive nil and retry.
-func (s *Store) releaseLocksLocked(tx *Tx, committed bool) {
-	for _, item := range tx.held {
-		ls := s.locks[item]
-		if ls == nil || ls.holder != tx.id {
+// releaseItems frees the given locks held by txID. If committed,
+// waiters receive ErrWriteConflict (first-committer-wins); if aborted,
+// they receive nil and retry.
+func (s *Store) releaseItems(txID uint64, held []core.ItemID, committed bool) {
+	for _, item := range held {
+		st := s.lockStripeOf(item)
+		st.mu.Lock()
+		ls := st.locks[item]
+		if ls == nil || ls.holder != txID {
+			st.mu.Unlock()
 			continue
 		}
 		for _, w := range ls.waiters {
 			if committed {
-				s.stats.WriteConflicts++
+				s.stats.writeConflicts.Add(1)
 				w.ch <- ErrWriteConflict
 			} else {
 				w.ch <- nil
 			}
 		}
-		delete(s.locks, item)
+		delete(st.locks, item)
+		st.mu.Unlock()
 	}
-	tx.held = nil
 }
 
-// finishLocked removes tx from the active set.
-func (s *Store) finishLocked(tx *Tx) {
-	tx.done = true
-	delete(s.active, tx.id)
-	delete(s.waitsFor, tx.id)
+// killTx forcibly finishes an active transaction: its state latches to
+// killed (losing any race with a concurrent commit latch), its locks
+// are released and waiters retried, and it leaves the registry.
+// Returns false if the transaction already finished or was killed.
+func (s *Store) killTx(tx *Tx) bool {
+	if !tx.state.CompareAndSwap(txActive, txKilled) {
+		return false
+	}
+	tx.mu.Lock()
+	held := tx.held
+	tx.held = nil
+	tx.mu.Unlock()
+	s.releaseItems(tx.id, held, false)
+	s.unregister(tx.id)
+	return true
 }
 
 // Kill forcibly aborts an active transaction by id: its locks are
@@ -476,17 +597,15 @@ func (s *Store) finishLocked(tx *Tx) {
 // (paper §8.2: "the proxy aborts the conflicting local update
 // transaction, which allows the remote writeset to be executed").
 func (s *Store) Kill(txID uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	tx, ok := s.active[txID]
-	if !ok {
+	st := s.activeStripeOf(txID)
+	st.mu.Lock()
+	tx := st.txs[txID]
+	st.mu.Unlock()
+	if tx == nil || !s.killTx(tx) {
 		return false
 	}
-	tx.killed = true
-	s.stats.Kills++
-	s.stats.Aborts++
-	s.releaseLocksLocked(tx, false)
-	s.finishLocked(tx)
+	s.stats.kills.Add(1)
+	s.stats.aborts.Add(1)
 	return true
 }
 
@@ -502,19 +621,28 @@ func (s *Store) ConflictingActiveTxns(ws *core.Writeset, excludeTx uint64) []uin
 	for i := range ws.Ops {
 		items[ws.Ops[i].Item()] = struct{}{}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []uint64
-	for id, tx := range s.active {
-		if id == excludeTx || tx.killed {
+	var txs []*Tx
+	for i := range s.activeStripes {
+		st := &s.activeStripes[i]
+		st.mu.Lock()
+		for _, tx := range st.txs {
+			txs = append(txs, tx)
+		}
+		st.mu.Unlock()
+	}
+	for _, tx := range txs {
+		if tx.id == excludeTx || tx.state.Load() != txActive {
 			continue
 		}
+		tx.mu.Lock()
 		for _, held := range tx.held {
 			if _, hit := items[held]; hit {
-				out = append(out, id)
+				out = append(out, tx.id)
 				break
 			}
 		}
+		tx.mu.Unlock()
 	}
 	return out
 }
@@ -525,31 +653,47 @@ func (s *Store) ConflictingActiveTxns(ws *core.Writeset, excludeTx uint64) []uin
 // the writeset it conflicts with has committed (paper §5.2.1).
 func (s *Store) WaitAnnounced(v uint64, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
-		s.mu.Lock()
-		if s.crashed {
-			s.mu.Unlock()
+		if s.crashed.Load() {
 			return ErrCrashed
 		}
-		if s.announced >= v {
-			s.mu.Unlock()
+		s.orderMu.Lock()
+		if s.announced.Load() >= v {
+			s.orderMu.Unlock()
 			return nil
 		}
 		w := orderWaiter{from: v, ch: make(chan struct{})}
 		s.orderWait = append(s.orderWait, w)
-		s.mu.Unlock()
+		s.orderMu.Unlock()
+		if timer == nil {
+			timer = time.NewTimer(time.Until(deadline))
+		} else {
+			timer.Reset(time.Until(deadline))
+		}
 		select {
 		case <-w.ch:
-		case <-time.After(time.Until(deadline)):
-			s.mu.Lock()
-			for i := range s.orderWait {
-				if s.orderWait[i].ch == w.ch {
-					s.orderWait = append(s.orderWait[:i], s.orderWait[i+1:]...)
-					break
-				}
+			if !timer.Stop() {
+				<-timer.C
 			}
-			cur := s.announced
-			s.mu.Unlock()
+		case <-s.crashCh:
+			// Crash may have swept the waiter list before we
+			// registered; without this case we would sleep out the
+			// full timeout on a dead store.
+			s.orderMu.Lock()
+			s.removeOrderWaiterLocked(w)
+			s.orderMu.Unlock()
+			return ErrCrashed
+		case <-timer.C:
+			s.orderMu.Lock()
+			s.removeOrderWaiterLocked(w)
+			cur := s.announced.Load()
+			s.orderMu.Unlock()
 			if cur >= v {
 				return nil
 			}
@@ -558,32 +702,25 @@ func (s *Store) WaitAnnounced(v uint64, timeout time.Duration) error {
 	}
 }
 
-// wakeOrderWaitersLocked releases CommitOrdered waiters whose from
-// version has been reached.
-func (s *Store) wakeOrderWaitersLocked() {
-	kept := s.orderWait[:0]
-	for _, w := range s.orderWait {
-		if w.from <= s.announced {
-			close(w.ch)
-		} else {
-			kept = append(kept, w)
+// removeOrderWaiterLocked drops w from the order-wait list. Caller
+// holds s.orderMu.
+func (s *Store) removeOrderWaiterLocked(w orderWaiter) {
+	for i := range s.orderWait {
+		if s.orderWait[i].ch == w.ch {
+			s.orderWait = append(s.orderWait[:i], s.orderWait[i+1:]...)
+			return
 		}
 	}
-	s.orderWait = kept
 }
 
 // maybePageMiss charges a buffer-pool miss to the data channel for
-// every Config.PageMissEvery-th read. Called without s.mu.
+// every Config.PageMissEvery-th read.
 func (s *Store) maybePageMiss() {
 	n := s.cfg.PageMissEvery
 	if n <= 0 {
 		return
 	}
-	s.mu.Lock()
-	s.readTick++
-	miss := s.readTick%n == 0
-	s.mu.Unlock()
-	if miss {
+	if s.readTick.Add(1)%int64(n) == 0 {
 		s.dataDisk.PageOps(1)
 	}
 }
@@ -598,12 +735,11 @@ func (s *Store) chargeCheckpoint(rowWrites int) {
 	if n <= 0 || rowWrites == 0 {
 		return
 	}
-	s.mu.Lock()
-	s.dirtyTick += int64(rowWrites)
-	pages := int(s.dirtyTick / int64(n))
-	s.dirtyTick -= int64(pages) * int64(n)
-	s.mu.Unlock()
-	if pages > 0 {
+	t := s.dirtyTick.Add(int64(rowWrites))
+	pages := int(t / int64(n))
+	// On CAS failure a concurrent committer saw the same ticks; the
+	// residue stays in the counter and is charged by a later commit.
+	if pages > 0 && s.dirtyTick.CompareAndSwap(t, t-int64(pages)*int64(n)) {
 		go s.dataDisk.PageOps(pages)
 	}
 }
@@ -615,45 +751,57 @@ func (s *Store) chargeCheckpoint(rowWrites int) {
 // store is unusable afterwards; recover with RecoverFromWAL or
 // RestoreDump.
 func (s *Store) Crash() (walImage []byte, corrupt bool) {
-	s.mu.Lock()
-	if s.crashed {
-		s.mu.Unlock()
-		return s.log.CrashImage(0), s.corruptLocked()
+	s.crashMu.Lock()
+	already := s.crashed.Load()
+	if !already {
+		s.crashed.Store(true)
+		close(s.crashCh)
 	}
-	s.crashed = true
-	close(s.crashCh)
-	for _, w := range s.orderWait {
-		close(w.ch)
+	s.crashMu.Unlock()
+	if already {
+		return s.log.CrashImage(0), s.corrupt()
 	}
-	s.orderWait = nil
-	for id, tx := range s.active {
-		tx.killed = true
-		s.releaseLocksLocked(tx, false)
-		delete(s.active, id)
+	s.wakeAllOrderWaiters()
+	for i := range s.activeStripes {
+		st := &s.activeStripes[i]
+		st.mu.Lock()
+		txs := make([]*Tx, 0, len(st.txs))
+		for _, tx := range st.txs {
+			txs = append(txs, tx)
+		}
+		st.mu.Unlock()
+		for _, tx := range txs {
+			s.killTx(tx)
+		}
 	}
-	corrupt = s.corruptLocked()
-	s.mu.Unlock()
+	corrupt = s.corrupt()
 	s.log.Close()
 	return s.log.CrashImage(0), corrupt
 }
 
-func (s *Store) corruptLocked() bool {
-	return s.cfg.WALMode == wal.NoSync && !s.cfg.KeepIntegrity && s.stats.Commits > 0
-}
-
-// Close shuts the store down cleanly (no crash semantics).
-func (s *Store) Close() {
-	s.mu.Lock()
-	if s.crashed {
-		s.mu.Unlock()
-		return
-	}
-	s.crashed = true
-	close(s.crashCh)
+func (s *Store) wakeAllOrderWaiters() {
+	s.orderMu.Lock()
 	for _, w := range s.orderWait {
 		close(w.ch)
 	}
 	s.orderWait = nil
-	s.mu.Unlock()
+	s.orderMu.Unlock()
+}
+
+func (s *Store) corrupt() bool {
+	return s.cfg.WALMode == wal.NoSync && !s.cfg.KeepIntegrity && s.stats.commits.Load() > 0
+}
+
+// Close shuts the store down cleanly (no crash semantics).
+func (s *Store) Close() {
+	s.crashMu.Lock()
+	if s.crashed.Load() {
+		s.crashMu.Unlock()
+		return
+	}
+	s.crashed.Store(true)
+	close(s.crashCh)
+	s.crashMu.Unlock()
+	s.wakeAllOrderWaiters()
 	s.log.Close()
 }

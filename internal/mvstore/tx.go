@@ -3,6 +3,8 @@ package mvstore
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tashkent/internal/core"
@@ -22,18 +24,30 @@ type pendingWrite struct {
 // (and the proxy then aborts the transaction).
 type WriteHook func(op core.WriteOp) error
 
+// Transaction lifecycle states. The state latches exactly once from
+// txActive to txDone (commit/abort, owned by the session goroutine) or
+// txKilled (Kill/Crash, any goroutine); the CAS winner owns lock
+// release and registry removal, so a kill can never race a commit.
+const (
+	txActive int32 = iota
+	txDone
+	txKilled
+)
+
 // Tx is one transaction handle. A Tx is used by a single session
-// goroutine; the store serializes internally.
+// goroutine; Kill and Crash may finish it from other goroutines, which
+// the state latch and the held-list mutex make safe.
 type Tx struct {
 	store    *Store
 	id       uint64
 	snapshot uint64
-	writes   map[core.ItemID]*pendingWrite
-	ws       core.Writeset // capture order preserved
-	held     []core.ItemID
+	writes   map[core.ItemID]*pendingWrite // owner goroutine only; nil until first write
+	ws       core.Writeset                 // capture order preserved
 	hook     WriteHook
-	done     bool
-	killed   bool
+
+	state atomic.Int32
+	mu    sync.Mutex // guards held against Kill/ConflictingActiveTxns
+	held  []core.ItemID
 }
 
 // ID returns the transaction identifier (used with Store.Kill).
@@ -52,10 +66,10 @@ func (tx *Tx) SetWriteHook(h WriteHook) { tx.hook = h }
 func (tx *Tx) Writeset() *core.Writeset { return &tx.ws }
 
 func (tx *Tx) check() error {
-	if tx.killed {
+	switch tx.state.Load() {
+	case txKilled:
 		return ErrTxKilled
-	}
-	if tx.done {
+	case txDone:
 		return ErrTxDone
 	}
 	return nil
@@ -63,50 +77,39 @@ func (tx *Tx) check() error {
 
 // Read returns the named columns of a row visible in the transaction's
 // snapshot (its own uncommitted writes win). found is false if the row
-// does not exist in the snapshot.
+// does not exist in the snapshot. The returned map is a shared
+// immutable row version — callers must not modify it. Snapshot reads
+// take only the owning data shard's read lock; no global mutex and no
+// defensive copy.
 func (tx *Tx) Read(tableName, key string) (cols map[string][]byte, found bool, err error) {
 	if err := tx.check(); err != nil {
 		return nil, false, err
 	}
-	tx.store.maybePageMiss()
-	item := core.ItemID{Table: tableName, Key: key}
-
 	s := tx.store
-	s.mu.Lock()
-	s.stats.RowReads++
+	s.maybePageMiss()
+	s.stats.rowReads.Add(1)
+	item := core.ItemID{Table: tableName, Key: key}
 	if pw, ok := tx.writes[item]; ok {
-		defer s.mu.Unlock()
 		if pw.deleted {
 			return nil, false, nil
 		}
+		// Own-writes overlay: tx-local, built fresh per read so the
+		// caller never aliases the pending buffer.
 		base := map[string][]byte{}
 		if pw.kind == core.OpUpdate {
-			if t := s.tables[tableName]; t != nil {
-				if rv := t.visible(key, tx.snapshot); rv != nil {
-					for c, v := range rv.cols {
-						base[c] = v
-					}
+			if committed, ok := s.readCommitted(tableName, key, tx.snapshot); ok {
+				for c, v := range committed {
+					base[c] = v
 				}
 			}
 		}
 		for c, v := range pw.cols {
 			base[c] = v
 		}
-		return cloneCols(base), true, nil
+		return base, true, nil
 	}
-	t := s.tables[tableName]
-	if t == nil {
-		s.mu.Unlock()
-		return nil, false, nil
-	}
-	rv := t.visible(key, tx.snapshot)
-	if rv == nil {
-		s.mu.Unlock()
-		return nil, false, nil
-	}
-	out := cloneCols(rv.cols)
-	s.mu.Unlock()
-	return out, true, nil
+	committed, ok := s.readCommitted(tableName, key, tx.snapshot)
+	return committed, ok, nil
 }
 
 // ReadCol is a convenience single-column read.
@@ -117,14 +120,6 @@ func (tx *Tx) ReadCol(tableName, key, col string) ([]byte, bool, error) {
 	}
 	v, ok := cols[col]
 	return v, ok, nil
-}
-
-func cloneCols(in map[string][]byte) map[string][]byte {
-	out := make(map[string][]byte, len(in))
-	for c, v := range in {
-		out[c] = append([]byte(nil), v...)
-	}
-	return out
 }
 
 // write is the shared path of Insert/Update/Delete: run the hook
@@ -143,13 +138,13 @@ func (tx *Tx) write(op core.WriteOp) error {
 	if err := tx.store.acquireLock(tx, item); err != nil {
 		return err
 	}
-	s := tx.store
-	s.mu.Lock()
-	if tx.killed { // killed while acquiring
-		s.mu.Unlock()
+	if tx.state.Load() == txKilled { // killed while acquiring
 		return ErrTxKilled
 	}
-	s.stats.RowWrites++
+	tx.store.stats.rowWrites.Add(1)
+	if tx.writes == nil {
+		tx.writes = make(map[core.ItemID]*pendingWrite)
+	}
 	pw := tx.writes[item]
 	if pw == nil {
 		pw = &pendingWrite{cols: map[string][]byte{}}
@@ -176,11 +171,9 @@ func (tx *Tx) write(op core.WriteOp) error {
 		pw.deleted = true
 		pw.cols = map[string][]byte{}
 	default:
-		s.mu.Unlock()
 		return fmt.Errorf("mvstore: invalid op kind %d", op.Kind)
 	}
 	tx.ws.Add(op)
-	s.mu.Unlock()
 	return nil
 }
 
@@ -226,18 +219,20 @@ func (tx *Tx) ApplyWriteset(ws *core.Writeset) error {
 
 // Abort rolls the transaction back.
 func (tx *Tx) Abort() error {
-	if tx.killed {
-		return nil // already dead and cleaned up
-	}
-	if tx.done {
+	if !tx.state.CompareAndSwap(txActive, txDone) {
+		if tx.state.Load() == txKilled {
+			return nil // already dead and cleaned up
+		}
 		return ErrTxDone
 	}
 	s := tx.store
-	s.mu.Lock()
-	s.stats.Aborts++
-	s.releaseLocksLocked(tx, false)
-	s.finishLocked(tx)
-	s.mu.Unlock()
+	s.stats.aborts.Add(1)
+	tx.mu.Lock()
+	held := tx.held
+	tx.held = nil
+	tx.mu.Unlock()
+	s.releaseItems(tx.id, held, false)
+	s.unregister(tx.id)
 	return nil
 }
 
@@ -258,23 +253,22 @@ func (tx *Tx) CommitLabeled(from, to uint64) error {
 		return err
 	}
 	if tx.ws.Empty() {
+		if !tx.state.CompareAndSwap(txActive, txDone) {
+			if tx.state.Load() == txKilled {
+				return ErrTxKilled
+			}
+			return ErrTxDone
+		}
 		s := tx.store
-		s.mu.Lock()
-		s.stats.ReadOnlyCommits++
-		s.finishLocked(tx)
-		s.mu.Unlock()
+		s.stats.readOnlyCommits.Add(1)
+		s.unregister(tx.id)
 		return nil
 	}
 	rec := encodeCommitRecord(from, to, &tx.ws)
 	if err := tx.store.log.Append(rec); err != nil {
 		return ErrCrashed
 	}
-	return tx.announce(func(s *Store) {
-		if to > s.announced {
-			s.announced = to
-			s.wakeOrderWaitersLocked()
-		}
-	}, nil)
+	return tx.applyCommit(to)
 }
 
 // CommitOrdered finishes an update transaction under the extended API
@@ -301,115 +295,113 @@ func (tx *Tx) CommitOrdered(from, to uint64) error {
 
 	s := tx.store
 	deadline := time.Now().Add(s.cfg.OrderTimeout)
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
-		s.mu.Lock()
-		if s.crashed {
-			s.mu.Unlock()
+		if s.crashed.Load() {
 			return ErrCrashed
 		}
-		if tx.killed {
-			s.mu.Unlock()
+		if tx.state.Load() == txKilled {
 			return ErrTxKilled
 		}
-		if s.announced >= from {
-			break // announce below, still holding s.mu
+		s.orderMu.Lock()
+		if s.announced.Load() >= from {
+			s.orderMu.Unlock()
+			break
 		}
 		w := orderWaiter{from: from, ch: make(chan struct{})}
 		s.orderWait = append(s.orderWait, w)
-		s.mu.Unlock()
+		s.orderMu.Unlock()
+		if timer == nil {
+			timer = time.NewTimer(time.Until(deadline))
+		} else {
+			timer.Reset(time.Until(deadline))
+		}
 		select {
 		case <-w.ch:
-		case <-time.After(time.Until(deadline)):
-			s.mu.Lock()
-			// Remove our waiter entry if still present.
-			for i := range s.orderWait {
-				if s.orderWait[i].ch == w.ch {
-					s.orderWait = append(s.orderWait[:i], s.orderWait[i+1:]...)
-					break
-				}
+			if !timer.Stop() {
+				<-timer.C
 			}
-			crashed := s.crashed
-			s.mu.Unlock()
-			if crashed {
+		case <-s.crashCh:
+			// Crash may have swept the waiter list before we
+			// registered; without this case we would sleep out the
+			// full timeout on a dead store.
+			s.orderMu.Lock()
+			s.removeOrderWaiterLocked(w)
+			s.orderMu.Unlock()
+			return ErrCrashed
+		case <-timer.C:
+			s.orderMu.Lock()
+			s.removeOrderWaiterLocked(w)
+			s.orderMu.Unlock()
+			if s.crashed.Load() {
 				return ErrCrashed
 			}
 			return fmt.Errorf("%w: waited for version %d, announced stuck at %d",
 				ErrOrderTimeout, from, s.AnnouncedVersion())
 		}
 	}
-	// s.mu held, announced >= from.
-	return tx.announceLocked(func(s *Store) {
-		if to > s.announced {
-			s.announced = to
-			s.wakeOrderWaitersLocked()
-		}
-	}, nil)
+	return tx.applyCommit(to)
 }
 
-// announce applies the transaction's writes at the next internal MVCC
-// sequence and finishes it. extra runs under the lock after
-// application (semaphore bookkeeping).
-func (tx *Tx) announce(extra func(*Store), _ interface{}) error {
-	tx.store.mu.Lock()
-	return tx.announceLocked(extra, nil)
-}
-
-// announceLocked completes the commit with s.mu held; it unlocks.
-func (tx *Tx) announceLocked(extra func(*Store), _ interface{}) error {
+// applyCommit is the shared tail of every update commit: latch the
+// state against Kill, allocate the install sequence, install every row
+// version stamped with it, publish the sequence in order (so readers
+// never observe a torn commit), release write locks
+// (first-committer-wins), and finally advance the commit-order
+// semaphore to announceTo (0 = unlabeled commit, no-op).
+func (tx *Tx) applyCommit(announceTo uint64) error {
 	s := tx.store
-	if s.crashed {
-		s.mu.Unlock()
+	if s.crashed.Load() {
 		return ErrCrashed
 	}
-	if tx.killed {
-		s.mu.Unlock()
-		return ErrTxKilled
+	if !tx.state.CompareAndSwap(txActive, txDone) {
+		if tx.state.Load() == txKilled {
+			return ErrTxKilled
+		}
+		return ErrTxDone
 	}
-	if s.failNextCommit > 0 {
-		s.failNextCommit--
-		s.stats.Aborts++
-		s.releaseLocksLocked(tx, false)
-		s.finishLocked(tx)
-		s.mu.Unlock()
+	tx.mu.Lock()
+	held := tx.held
+	tx.held = nil
+	tx.mu.Unlock()
+	if s.consumeFailNextCommit() {
+		s.stats.aborts.Add(1)
+		s.releaseItems(tx.id, held, false)
+		s.unregister(tx.id)
 		return ErrCommitRejected
 	}
-	s.mvccSeq++
-	seq := s.mvccSeq
-	minSnap := s.minActiveSnapshotLocked()
-	rowWrites := 0
+	// From here the commit must complete unconditionally: a stall
+	// between sequence allocation and publication would wedge every
+	// later committer's publication wait. Everything below is pure
+	// memory work.
+	minSnap := s.minActiveSnapshot()
+	seq := s.seqAlloc.Add(1)
 	for item, pw := range tx.writes {
-		t := s.tables[item.Table]
-		if t == nil {
-			t = &table{rows: make(map[string][]rowVersion)}
-			s.tables[item.Table] = t
-		}
-		rv := rowVersion{seq: seq, deleted: pw.deleted}
-		if !pw.deleted {
-			base := map[string][]byte{}
-			if pw.kind == core.OpUpdate {
-				if prev := t.visible(item.Key, seq-1); prev != nil {
-					for c, v := range prev.cols {
-						base[c] = v
-					}
-				}
-			}
-			for c, v := range pw.cols {
-				base[c] = v
-			}
-			rv.cols = base
-		}
-		t.rows[item.Key] = append(t.rows[item.Key], rv)
-		t.prune(item.Key, minSnap)
-		rowWrites++
+		s.installWrite(item, pw, seq, minSnap)
 	}
-	s.stats.Commits++
-	s.releaseLocksLocked(tx, true)
-	s.finishLocked(tx)
-	if extra != nil {
-		extra(s)
+	// Publish strictly in sequence order: seq becomes visible to new
+	// snapshots only after commits 1..seq-1 are fully installed and
+	// published, so a snapshot at v sees every commit <= v completely
+	// or not at all.
+	s.pubMu.Lock()
+	for s.published.Load() != seq-1 {
+		s.pubCond.Wait()
 	}
-	s.mu.Unlock()
-	s.chargeCheckpoint(rowWrites)
+	s.published.Store(seq)
+	s.pubCond.Broadcast()
+	s.pubMu.Unlock()
+	s.stats.commits.Add(1)
+	s.releaseItems(tx.id, held, true)
+	s.unregister(tx.id)
+	if announceTo > 0 {
+		s.advanceAnnounced(announceTo)
+	}
+	s.chargeCheckpoint(len(tx.writes))
 	return nil
 }
 

@@ -1,10 +1,10 @@
 package paxos
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sync"
+
+	"tashkent/internal/transport"
 )
 
 // WAL record kinds.
@@ -509,14 +509,7 @@ func (n *Node) replicateTo(peer int) {
 	}
 }
 
-func gobEncode(v interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
+// gobEncode/gobDecode delegate to the transport's pooled codec.
+func gobEncode(v interface{}) ([]byte, error) { return transport.GobEncode(v) }
 
-func gobDecode(b []byte, v interface{}) error {
-	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
-}
+func gobDecode(b []byte, v interface{}) error { return transport.GobDecode(b, v) }

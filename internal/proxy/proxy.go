@@ -265,7 +265,9 @@ func (p *Proxy) preCertHook(inner *mvstore.Tx) mvstore.WriteHook {
 
 // Read/write passthroughs.
 
-// Read returns the row visible in the transaction snapshot.
+// Read returns the row visible in the transaction snapshot. The map
+// is a shared immutable row version (see mvstore.Tx.Read); callers
+// must not modify it.
 func (t *Tx) Read(table, key string) (map[string][]byte, bool, error) {
 	return t.inner.Read(table, key)
 }

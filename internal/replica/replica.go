@@ -49,6 +49,7 @@ type Config struct {
 	CheckpointEvery int
 	LockTimeout     time.Duration
 	OrderTimeout    time.Duration
+	StoreStripes    int // data-shard / lock-stripe count (0 = engine default)
 
 	// Middleware options.
 	LocalCertification bool
@@ -91,6 +92,7 @@ func (cfg *Config) storeConfig(data, log *simdisk.Disk) mvstore.Config {
 		CheckpointEvery: cfg.CheckpointEvery,
 		LockTimeout:     cfg.LockTimeout,
 		OrderTimeout:    cfg.OrderTimeout,
+		Stripes:         cfg.StoreStripes,
 	}
 	if cfg.Mode == proxy.TashkentMW {
 		// Disable all synchronous WAL writes: durability moves to the

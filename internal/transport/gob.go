@@ -1,0 +1,32 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+)
+
+// gobBufPool recycles encode buffers on the RPC hot paths (certify and
+// pull rounds, AppendEntries traffic): a fresh bytes.Buffer per
+// message re-grows its backing array from scratch each time.
+var gobBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// GobEncode gob-encodes v using a pooled scratch buffer and returns an
+// exactly-sized copy (the result escapes to the fabric, so it cannot
+// alias the pooled buffer).
+func GobEncode(v interface{}) ([]byte, error) {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		gobBufPool.Put(buf)
+		return nil, err
+	}
+	out := append([]byte(nil), buf.Bytes()...)
+	gobBufPool.Put(buf)
+	return out, nil
+}
+
+// GobDecode decodes a GobEncode payload into v.
+func GobDecode(b []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

@@ -458,7 +458,9 @@ func (t *Tx) finish() {
 // isFinished reports whether Commit or Abort already ran.
 func (t *Tx) isFinished() bool { return t.done.Load() }
 
-// Read returns the row visible in the transaction snapshot.
+// Read returns the row visible in the transaction snapshot. The map
+// is a shared immutable row version (see mvstore.Tx.Read); callers
+// must not modify it.
 func (t *Tx) Read(table, key string) (map[string][]byte, bool, error) {
 	return t.inner.Read(table, key)
 }
