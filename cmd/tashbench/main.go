@@ -11,6 +11,7 @@
 //	tashbench -exp policies -policy roundrobin,leastinflight,rwsplit
 //	tashbench -exp batching -replicas 1,4,8,15 -maxbatch 256
 //	tashbench -exp readscale -clientsweep 1,2,4,8,16,32
+//	tashbench -exp chaos -seed 1 -seeds 20
 //
 // Experiments: fig4 (covers Fig 4+5), fig6 (6+7), fig8 (8+9),
 // fig10 (10+11), fig12 (12+13), fig14, standalone (§9.2 text),
@@ -18,7 +19,11 @@
 // batching (update-heavy writesets-per-fsync / pipeline batch-size
 // sweep — the paper's headline figure), readscale (single-replica
 // TPC-W client sweep exercising the storage engine's snapshot-read
-// path), all.
+// path), chaos (seeded deterministic fault injection — partitions,
+// drops, duplicates, reorders, replica and certifier crash-restarts —
+// with a machine-checked safety-invariant verdict per seed; -seed
+// selects the first seed, -seeds how many consecutive seeds to run,
+// and a failing run replays exactly from its printed seed), all.
 package main
 
 import (
@@ -34,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|chaos|all")
 		scale    = flag.Int("scale", 10, "divide paper disk latencies by this factor (1 = full 8ms fsyncs)")
 		replicas = flag.String("replicas", "1,2,4,8,12,15", "comma-separated replica counts to sweep")
 		clients  = flag.Int("clients", 10, "closed-loop clients per replica")
@@ -47,6 +52,7 @@ func main() {
 			"comma-separated routing policies for -exp policies: roundrobin|leastinflight|rwsplit")
 		clientSweep = flag.String("clientsweep", "1,2,4,8,16,32",
 			"comma-separated client counts for -exp readscale")
+		chaosSeeds = flag.Int("seeds", 20, "number of consecutive seeds for -exp chaos (starting at -seed)")
 	)
 	flag.Parse()
 
@@ -93,8 +99,19 @@ func main() {
 		},
 		"batching":  func() error { _, err := harness.RunBatchingExperiment(opt); return err },
 		"readscale": func() error { _, err := harness.RunReadScaleExperiment(sweep, opt); return err },
+		"chaos": func() error {
+			if *chaosSeeds < 1 {
+				*chaosSeeds = 1
+			}
+			seeds := make([]int64, *chaosSeeds)
+			for i := range seeds {
+				seeds[i] = *seed + int64(i)
+			}
+			_, err := harness.RunChaosExperiment(seeds, opt)
+			return err
+		},
 	}
-	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale"}
+	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale", "chaos"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -1,0 +1,82 @@
+package tashkent
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCrashResetsInFlightCounters is the end-to-end regression test
+// for the crashed-replica routing-counter leak: transactions open on a
+// replica when cluster.CrashReplica kills it must not keep charging
+// the shared in-flight counter — leastinflight would otherwise shun
+// the replica after rejoin — and their late releases must not drive
+// the rejoined replica's counter negative, which would bias routing
+// the other way.
+func TestCrashResetsInFlightCounters(t *testing.T) {
+	db, err := Start(Config{Mode: ModeTashkentMW, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	sess := db.Session(WithPolicy(LeastInFlight()))
+
+	// Hold transactions open on replica 0 only.
+	only0 := []bool{false, true}
+	var open []*Tx
+	for len(open) < 3 {
+		i, release := sess.bal.Acquire(false, only0)
+		if i != 0 {
+			t.Fatalf("forced acquire picked replica %d, want 0", i)
+		}
+		inner, err := db.c.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		open = append(open, &Tx{inner: inner, sess: sess, replica: 0, release: release})
+	}
+	if got := db.counters.Get(0); got != 3 {
+		t.Fatalf("in-flight(0) = %d with 3 open transactions, want 3", got)
+	}
+
+	// Crash replica 0 with the transactions still open: the counter
+	// must reset with it.
+	db.Cluster().CrashReplica(0)
+	if got := db.counters.Get(0); got != 0 {
+		t.Fatalf("in-flight(0) = %d right after crash, want 0 (stale charges leaked)", got)
+	}
+
+	// The abandoned handles resolve later; their releases are stale
+	// and must not push the fresh counter below zero.
+	for _, tx := range open {
+		tx.Abort()
+	}
+	if got := db.counters.Get(0); got != 0 {
+		t.Fatalf("in-flight(0) = %d after stale releases, want 0", got)
+	}
+
+	if _, err := db.Cluster().RecoverReplica(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// leastinflight must now treat the rejoined replica as idle: with
+	// a transaction pinned on replica 1, the next pick is replica 0.
+	pin, err := sess.Begin(ctx)
+	for err == nil && pin.Replica() != 1 {
+		pin.Abort()
+		pin, err = sess.Begin(ctx)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Abort()
+	tx, err := sess.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Abort()
+	if tx.Replica() != 0 {
+		t.Fatalf("leastinflight picked replica %d after rejoin, want 0 (idle)", tx.Replica())
+	}
+}

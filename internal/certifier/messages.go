@@ -144,6 +144,14 @@ func encodeEntryData(origin int, start uint64, ws *core.Writeset) []byte {
 	return ws.Encode(buf)
 }
 
+// DecodeLogEntry decodes one paxos log entry's payload into its
+// origin replica, start version and writeset. The chaos invariant
+// checker uses it to turn the certifier's committed log into the
+// ground truth every client-visible event is verified against.
+func DecodeLogEntry(data []byte) (origin int, start uint64, ws *core.Writeset, err error) {
+	return decodeEntryData(data)
+}
+
 func decodeEntryData(data []byte) (origin int, start uint64, ws *core.Writeset, err error) {
 	if len(data) < 12 {
 		return 0, 0, nil, fmt.Errorf("certifier: short log entry (%d bytes)", len(data))

@@ -246,14 +246,22 @@ func (s *Server) processBatch(batch []*certifyTask) {
 				continue
 			}
 			t.resp = Response{Committed: true, CommitVersion: t.version, ReplicaSeq: s.nextReplicaSeqLocked(t.req.Origin), SeqEpoch: s.basisTerm}
-			// Remote writesets up to the task's own version: earlier
-			// commits of this same batch are included and will be
-			// durable by the time the response leaves (the batch
-			// barrier covers them).
-			s.fillRemotesLocked(&t.resp, t.req.Origin, false, t.req.ReplicaVersion, t.version, t.req.NeedSafeBack)
+			// Writesets up to (excluding) the task's own version:
+			// earlier commits of this same batch are included and will
+			// be durable by the time the response leaves (the batch
+			// barrier covers them). The fill includes the origin's own
+			// earlier writesets too: in the window above the replica's
+			// reported version, "own" entries exist only if their
+			// responses were lost, and a response that makes the
+			// replica announce past them must carry their data or the
+			// replica is left with a permanent hole. Already-applied
+			// own writesets sit at or below the replica's version and
+			// are filtered by the proxy's basis cursor, so the healthy
+			// path never re-applies them.
+			s.fillRemotesLocked(&t.resp, t.req.Origin, true, t.req.ReplicaVersion, t.version-1, t.req.NeedSafeBack)
 		} else {
 			t.resp = Response{Committed: false, ReplicaSeq: s.nextReplicaSeqLocked(t.req.Origin), SeqEpoch: s.basisTerm}
-			s.fillRemotesLocked(&t.resp, t.req.Origin, false, t.req.ReplicaVersion, s.committedCap(), t.req.NeedSafeBack)
+			s.fillRemotesLocked(&t.resp, t.req.Origin, true, t.req.ReplicaVersion, s.committedCap(), t.req.NeedSafeBack)
 		}
 	}
 	s.mu.Unlock()

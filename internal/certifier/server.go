@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tashkent/internal/core"
@@ -53,6 +54,10 @@ type Config struct {
 	// is already queued — under load batches form naturally while the
 	// previous barrier is on the disk.
 	MaxWait time.Duration
+	// PaxosCallHook, if set, filters this node's outgoing replication
+	// RPCs (see paxos.Config.CallHook) — the chaos harness's handle for
+	// isolating a certifier from its peers.
+	PaxosCallHook func(peer int, method string) error
 	// ElectionTimeout/Seed tune the underlying replication group.
 	ElectionTimeout time.Duration
 	Seed            int64
@@ -81,6 +86,9 @@ type Server struct {
 	stopOnce   sync.Once
 	loopWG     sync.WaitGroup
 	batchSizes metrics.Distribution // commits proposed per batch
+	// barrierInFlight coalesces the automatic post-election barrier
+	// (see ensureEngineLocked).
+	barrierInFlight atomic.Bool
 
 	mu         sync.Mutex // guards engine + basisTerm + rng + stats
 	engine     *core.Engine
@@ -116,6 +124,7 @@ func New(cfg Config) *Server {
 		Peers:           cfg.Peers,
 		Disk:            cfg.Disk,
 		WALMode:         mode,
+		CallHook:        cfg.PaxosCallHook,
 		ElectionTimeout: cfg.ElectionTimeout,
 		Seed:            cfg.Seed,
 	})
@@ -163,6 +172,10 @@ func (s *Server) Stats() Stats {
 	defer s.mu.Unlock()
 	return s.stats
 }
+
+// Disk exposes the node's log IO channel (chaos drills arm fsync
+// hooks on it to crash the node at exact durability boundaries).
+func (s *Server) Disk() *simdisk.Disk { return s.disk }
 
 // DiskStats exposes the log channel statistics — the source of the
 // writesets-per-fsync figure the paper reports.
@@ -253,6 +266,17 @@ func (s *Server) ensureEngineLocked() error {
 	// A leadership change starts a fresh response-sequencing epoch;
 	// proxies detect the reset and resynchronize.
 	s.replicaSeq = make(map[int]uint64)
+	// A new leader cannot mark the previous term's tail committed
+	// until an entry of its own term commits; until then pulls and
+	// resyncs are capped below transactions that are already acked.
+	// Self-barrier in the background so a quiet (or read-only) period
+	// after a failover still finalizes the tail promptly.
+	if s.node.CommitIndex() < uint64(len(entries)) && s.barrierInFlight.CompareAndSwap(false, true) {
+		go func() {
+			defer s.barrierInFlight.Store(false)
+			s.Barrier()
+		}()
+	}
 	return nil
 }
 
@@ -270,6 +294,49 @@ func (s *Server) nextReplicaSeqLocked(origin int) uint64 {
 // versions: uncommitted in-flight entries must never reach a replica.
 func (s *Server) committedCap() uint64 {
 	return s.node.CommitIndex()
+}
+
+// Barrier commits a no-op log entry and waits for it, returning the
+// resulting committed index. A freshly elected leader cannot mark a
+// previous term's tail committed until an entry of its own term
+// commits (the leader-completeness rule), so after a failover a quiet
+// group would keep reporting a committed prefix that excludes already-
+// acknowledged transactions; a barrier finalizes the tail on demand.
+// The no-op consumes one global version; replicas advance their
+// announce chain through it without installing anything.
+func (s *Server) Barrier() (uint64, error) {
+	// Claim the coalescing flag so ensureEngineLocked's automatic
+	// post-election barrier does not spawn a second no-op alongside
+	// this explicit one.
+	if s.barrierInFlight.CompareAndSwap(false, true) {
+		defer s.barrierInFlight.Store(false)
+	}
+	s.mu.Lock()
+	if err := s.ensureEngineLocked(); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	version := uint64(s.engine.SystemVersion()) + 1
+	data := encodeEntryData(0, 0, &core.Writeset{})
+	first, term, err := s.node.ProposeBatchAt(version-1, [][]byte{data})
+	if err == nil && first != version {
+		err = fmt.Errorf("certifier: barrier proposed at index %d, engine expected %d", first, version)
+	}
+	if err != nil {
+		s.basisValid = false
+		s.mu.Unlock()
+		return 0, err
+	}
+	if aerr := s.engine.Append(core.LogEntry{
+		Version: core.Version(version), WS: &core.Writeset{}, Origin: 0,
+	}); aerr != nil {
+		s.basisValid = false
+	}
+	s.mu.Unlock()
+	if err := s.node.WaitCommitted(first, term); err != nil {
+		return 0, err
+	}
+	return s.node.CommitIndex(), nil
 }
 
 // fillRemotesLocked collects the writesets in (after, upTo] that did

@@ -1,0 +1,46 @@
+package chaos
+
+import "time"
+
+// WaitUntil polls cond every millisecond until it returns true or
+// timeout elapses, reporting whether the condition was met. It is the
+// condition-wait primitive convergence-sensitive tests use instead of
+// fixed wall-clock sleeps: the wait ends the moment the condition
+// holds, and a slow machine (or the race detector's scheduling
+// overhead) only lengthens the wait instead of breaking the test.
+func WaitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond() // one last look after the deadline
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// WaitStable polls value every millisecond and returns once it has
+// reported the same result for quiet consecutive polls (or timeout
+// elapses, returning the latest value and false). Tests use it to
+// quiesce asynchronous appliers: "fingerprints stopped changing" is a
+// condition, "sleep 50ms and hope" is not.
+func WaitStable[T comparable](timeout, quiet time.Duration, value func() T) (T, bool) {
+	deadline := time.Now().Add(timeout)
+	last := value()
+	stableSince := time.Now()
+	for {
+		time.Sleep(time.Millisecond)
+		cur := value()
+		if cur != last {
+			last = cur
+			stableSince = time.Now()
+		} else if time.Since(stableSince) >= quiet {
+			return last, true
+		}
+		if time.Now().After(deadline) {
+			return last, false
+		}
+	}
+}

@@ -46,6 +46,21 @@ type Config struct {
 	NetDelay time.Duration
 	// AbortRate injects certification aborts (Fig 14).
 	AbortRate float64
+	// CertTimeout bounds how long a replica's certifier client keeps
+	// failing over before reporting the group unavailable (0 = 10 s).
+	// Chaos runs shrink it so partitioned commits fail fast.
+	CertTimeout time.Duration
+	// SeqTimeout bounds how long a proxy waits for a lost response-
+	// sequence predecessor before resyncing (0 = proxy default 5 s).
+	SeqTimeout time.Duration
+	// SeqObserver, if set, receives every proxy sequencer admission
+	// (replica index, epoch, seq, outcome) — the chaos invariant
+	// checker's view of per-origin response sequencing.
+	SeqObserver func(replica int, epoch, seq uint64, outcome string)
+	// PaxosCallHook, if set, filters certifier replication RPCs
+	// (from/to certifier ids); returning an error suppresses the send.
+	// Chaos drills use it to isolate certifiers from their peers.
+	PaxosCallHook func(from, to int, method string) error
 	// Storage and middleware tuning, applied to every replica.
 	PageMissEvery      int
 	CheckpointEvery    int
@@ -83,6 +98,9 @@ type Cluster struct {
 	// gate per replica: N sessions waiting on the same lagging replica
 	// produce one Pull RPC, not N.
 	pullGates []pullGate
+
+	hookMu            sync.Mutex
+	replicaCrashHooks []func(i int)
 }
 
 // pullGate is a single-flight latch around one replica's PullOnce.
@@ -112,7 +130,7 @@ func New(cfg Config) (*Cluster, error) {
 		peers := make(map[int]transport.Client)
 		for j := 0; j < cfg.Certifiers; j++ {
 			if j != i {
-				peers[j] = c.fabric.Dial(certName(j))
+				peers[j] = c.fabric.DialFrom(certName(i), certName(j))
 			}
 		}
 		srv := certifier.New(certifier.Config{
@@ -123,6 +141,7 @@ func New(cfg Config) (*Cluster, error) {
 			AbortRate:         cfg.AbortRate,
 			MaxBatch:          cfg.CertMaxBatch,
 			MaxWait:           cfg.CertMaxWait,
+			PaxosCallHook:     c.paxosHookFor(i),
 			ElectionTimeout:   200 * time.Millisecond,
 			Seed:              cfg.Seed + int64(i),
 		})
@@ -140,6 +159,13 @@ func New(cfg Config) (*Cluster, error) {
 
 	// Replicas.
 	for i := 0; i < cfg.Replicas; i++ {
+		i := i
+		var observer func(epoch, seq uint64, outcome string)
+		if cfg.SeqObserver != nil {
+			observer = func(epoch, seq uint64, outcome string) {
+				cfg.SeqObserver(i, epoch, seq, outcome)
+			}
+		}
 		r := replica.Open(replica.Config{
 			ID:   i + 1,
 			Mode: cfg.Mode,
@@ -148,7 +174,7 @@ func New(cfg Config) (*Cluster, error) {
 				Dedicated: cfg.DedicatedIO,
 				Seed:      cfg.Seed + int64(i)*104729,
 			},
-			Cert:               c.newCertClient(),
+			Cert:               c.newCertClient(i),
 			PageMissEvery:      cfg.PageMissEvery,
 			CheckpointEvery:    cfg.CheckpointEvery,
 			LockTimeout:        cfg.LockTimeout,
@@ -156,6 +182,8 @@ func New(cfg Config) (*Cluster, error) {
 			LocalCertification: cfg.LocalCertification,
 			EagerPreCert:       cfg.EagerPreCert,
 			StalenessBound:     cfg.StalenessBound,
+			SeqTimeout:         cfg.SeqTimeout,
+			SeqObserver:        observer,
 		})
 		c.replicas = append(c.replicas, r)
 	}
@@ -194,13 +222,32 @@ func (c *Cluster) pullShared(ctx context.Context, i int) error {
 
 func certName(i int) string { return fmt.Sprintf("certifier-%d", i) }
 
-// newCertClient builds a failover client over the whole group.
-func (c *Cluster) newCertClient() *certifier.Client {
-	clients := make([]transport.Client, len(c.certs))
-	for i := range c.certs {
-		clients[i] = c.fabric.Dial(certName(i))
+func replicaName(i int) string { return fmt.Sprintf("replica-%d", i) }
+
+// paxosHookFor curries the configured certifier-link filter for one
+// node (nil when unconfigured).
+func (c *Cluster) paxosHookFor(id int) func(peer int, method string) error {
+	if c.cfg.PaxosCallHook == nil {
+		return nil
 	}
-	return certifier.NewClient(clients, 10*time.Second)
+	return func(peer int, method string) error {
+		return c.cfg.PaxosCallHook(id, peer, method)
+	}
+}
+
+// newCertClient builds a failover client over the whole group for
+// replica i, identified on the fabric so link-level fault injection
+// can cut individual replica→certifier paths.
+func (c *Cluster) newCertClient(i int) *certifier.Client {
+	clients := make([]transport.Client, len(c.certs))
+	for j := range c.certs {
+		clients[j] = c.fabric.DialFrom(replicaName(i), certName(j))
+	}
+	timeout := c.cfg.CertTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	return certifier.NewClient(clients, timeout)
 }
 
 func (c *Cluster) waitCertLeader(timeout time.Duration) error {
@@ -221,6 +268,30 @@ func (c *Cluster) Mode() proxy.Mode { return c.cfg.Mode }
 
 // Replicas returns the replica count.
 func (c *Cluster) Replicas() int { return len(c.replicas) }
+
+// Certifiers returns the certifier group size.
+func (c *Cluster) Certifiers() int { return len(c.certs) }
+
+// Fabric exposes the message fabric so a chaos harness can install a
+// fault-injecting interposer over every link.
+func (c *Cluster) Fabric() *transport.LocalFabric { return c.fabric }
+
+// CertifierName and ReplicaName return the fabric endpoint names used
+// by the cluster's links — the vocabulary for link-level fault rules.
+func CertifierName(i int) string { return certName(i) }
+
+// ReplicaName returns the fabric-side identity of replica i (0-based).
+func ReplicaName(i int) string { return replicaName(i) }
+
+// OnReplicaCrash registers f to run after CrashReplica kills a
+// replica. The session layer uses it to drop the crashed replica's
+// in-flight routing charges, which would otherwise bias load-sensitive
+// policies against it after rejoin.
+func (c *Cluster) OnReplicaCrash(f func(i int)) {
+	c.hookMu.Lock()
+	c.replicaCrashHooks = append(c.replicaCrashHooks, f)
+	c.hookMu.Unlock()
+}
 
 // ErrNoSuchReplica reports a replica index outside [0, Replicas()).
 var ErrNoSuchReplica = errors.New("cluster: no such replica")
@@ -302,14 +373,32 @@ func (c *Cluster) CertLeader() *certifier.Server {
 	return nil
 }
 
+// CertLeaderIndex returns the current leader's index, or -1 if the
+// group has no (live) leader.
+func (c *Cluster) CertLeaderIndex() int {
+	for i, s := range c.certs {
+		if c.certUp[i] && s.IsLeader() {
+			return i
+		}
+	}
+	return -1
+}
+
 // Certifier returns certifier node i.
 func (c *Cluster) Certifier(i int) *certifier.Server { return c.certs[i] }
 
 // CrashReplica kills replica i (recoverable with RecoverReplica); out
 // of range indices are ignored.
 func (c *Cluster) CrashReplica(i int) {
-	if c.checkReplica(i) == nil {
-		c.replicas[i].Crash()
+	if c.checkReplica(i) != nil {
+		return
+	}
+	c.replicas[i].Crash()
+	c.hookMu.Lock()
+	hooks := append([]func(int){}, c.replicaCrashHooks...)
+	c.hookMu.Unlock()
+	for _, f := range hooks {
+		f(i)
 	}
 }
 
@@ -323,9 +412,19 @@ func (c *Cluster) RecoverReplica(i int) (replica.RecoveryReport, error) {
 
 // CrashCertifier stops certifier node i and detaches it from the
 // fabric, returning its surviving log image for later recovery.
+//
+// The image is captured *after* Stop: between an early capture and the
+// actual halt the node would keep fsyncing and acknowledging appends —
+// acks that vouch durability — and restoring from the older image
+// would retroactively un-persist them. That amnesia crash is
+// impossible on real hardware and breaks the replication group's
+// majority arithmetic (an acked commit can vanish from every live
+// log). Drills that want a crash at an exact pre-fsync boundary block
+// the fsync via a simdisk hook and capture the image while the node
+// provably cannot ack (see the chaos mid-batch drill).
 func (c *Cluster) CrashCertifier(i int) []byte {
-	img := c.certs[i].WALImage()
 	c.certs[i].Stop()
+	img := c.certs[i].WALImage()
 	c.certUp[i] = false
 	return img
 }
@@ -336,7 +435,7 @@ func (c *Cluster) RecoverCertifier(i int, img []byte) error {
 	peers := make(map[int]transport.Client)
 	for j := range c.certs {
 		if j != i {
-			peers[j] = c.fabric.Dial(certName(j))
+			peers[j] = c.fabric.DialFrom(certName(i), certName(j))
 		}
 	}
 	srv := certifier.New(certifier.Config{
@@ -347,6 +446,7 @@ func (c *Cluster) RecoverCertifier(i int, img []byte) error {
 		AbortRate:         c.cfg.AbortRate,
 		MaxBatch:          c.cfg.CertMaxBatch,
 		MaxWait:           c.cfg.CertMaxWait,
+		PaxosCallHook:     c.paxosHookFor(i),
 		ElectionTimeout:   200 * time.Millisecond,
 		Seed:              c.cfg.Seed + int64(i) + 1000,
 	})
@@ -358,6 +458,26 @@ func (c *Cluster) RecoverCertifier(i int, img []byte) error {
 	c.certs[i] = srv
 	c.certUp[i] = true
 	return nil
+}
+
+// Barrier commits a no-op certifier entry and returns the resulting
+// committed index, retrying across leader changes until timeout. After
+// a failover it forces the new leader to finalize the previous term's
+// tail — without it, a quiet group under-reports its committed prefix
+// (acked transactions stay invisible to pulls until the next commit).
+func (c *Cluster) Barrier(timeout time.Duration) (uint64, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if leader := c.CertLeader(); leader != nil {
+			if idx, err := leader.Barrier(); err == nil {
+				return idx, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return 0, errors.New("cluster: certifier barrier never committed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // SetAbortRate updates the injected abort rate on every certifier.

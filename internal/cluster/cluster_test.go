@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"tashkent/internal/chaos"
 	"tashkent/internal/proxy"
 	"tashkent/internal/simdisk"
 )
@@ -220,12 +221,10 @@ func TestCertifierCrashRecovery(t *testing.T) {
 	if err := c.RecoverCertifier(victim, img); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) && c.Certifier(victim).Node().CommitIndex() < 8 {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if got := c.Certifier(victim).Node().CommitIndex(); got < 8 {
-		t.Errorf("recovered certifier at commit %d, want >= 8", got)
+	if !chaos.WaitUntil(3*time.Second, func() bool {
+		return c.Certifier(victim).Node().CommitIndex() >= 8
+	}) {
+		t.Errorf("recovered certifier at commit %d, want >= 8", c.Certifier(victim).Node().CommitIndex())
 	}
 }
 
@@ -243,16 +242,12 @@ func TestCertifierLeaderKillSystemSurvives(t *testing.T) {
 	}
 	// A new leader is elected and commits continue (client retries
 	// internally via the failover client).
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		err := clusterCommit(t, c, 0, "after", "y")
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("system never recovered from leader kill: %v", err)
-		}
-		time.Sleep(20 * time.Millisecond)
+	var lastErr error
+	if !chaos.WaitUntil(10*time.Second, func() bool {
+		lastErr = clusterCommit(t, c, 0, "after", "y")
+		return lastErr == nil
+	}) {
+		t.Fatalf("system never recovered from leader kill: %v", lastErr)
 	}
 }
 
@@ -313,13 +308,18 @@ func TestConcurrentMultiReplicaLoad(t *testing.T) {
 			if err := c.ConvergeAll(10 * time.Second); err != nil {
 				t.Fatal(err)
 			}
-			// Quiesce async chunk appliers before fingerprinting.
-			time.Sleep(50 * time.Millisecond)
-			fps := c.Fingerprints()
-			for i := 1; i < len(fps); i++ {
-				if fps[i] != fps[0] {
-					t.Fatalf("replica %d diverged under %v", i, mode)
+			// Async chunk appliers may still be publishing: wait for
+			// the fingerprints to agree instead of sleeping and hoping.
+			if !chaos.WaitUntil(5*time.Second, func() bool {
+				fps := c.Fingerprints()
+				for i := 1; i < len(fps); i++ {
+					if fps[i] != fps[0] {
+						return false
+					}
 				}
+				return true
+			}) {
+				t.Fatalf("replicas diverged under %v: fingerprints %v", mode, c.Fingerprints())
 			}
 			leader := c.CertLeader()
 			if got := leader.Node().CommitIndex(); got != 100 {

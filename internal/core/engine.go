@@ -122,14 +122,23 @@ func (e *Engine) Conflicts(start Version, ws *Writeset) bool {
 	return e.conflicts(ws, start, e.system)
 }
 
+// BarrierOrigin is the origin id of leader-barrier no-op entries
+// (certifier.Server.Barrier). Real replicas have positive origin ids.
+const BarrierOrigin = 0
+
 // Append installs an already-certified entry at the next version. The
-// entry's version must be exactly SystemVersion()+1.
+// entry's version must be exactly SystemVersion()+1. An empty writeset
+// is permitted only for barrier entries (Origin == BarrierOrigin): a
+// leader barrier commits a no-op to finalize a previous term's tail,
+// consuming a version that conflicts with nothing. For any real
+// origin an empty writeset still indicates corruption or a misencoded
+// certification and is rejected loudly.
 func (e *Engine) Append(entry LogEntry) error {
 	if entry.Version != e.system+1 {
 		return fmt.Errorf("core: append version %d, want %d", entry.Version, e.system+1)
 	}
-	if entry.WS.Empty() {
-		return fmt.Errorf("core: append of empty writeset at version %d", entry.Version)
+	if entry.WS.Empty() && entry.Origin != BarrierOrigin {
+		return fmt.Errorf("core: append of empty writeset at version %d (origin %d)", entry.Version, entry.Origin)
 	}
 	e.system = entry.Version
 	e.append(entry)

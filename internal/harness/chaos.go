@@ -1,0 +1,544 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"tashkent/internal/certifier"
+	"tashkent/internal/chaos"
+	"tashkent/internal/cluster"
+	"tashkent/internal/mvstore"
+	"tashkent/internal/proxy"
+	"tashkent/internal/simdisk"
+	"tashkent/internal/workload"
+)
+
+// This file implements `tashbench -exp chaos`: seeded, deterministic
+// fault-schedule runs against a full cluster, with every client-visible
+// outcome recorded and verified by the chaos invariant checker.
+//
+// One seed fully determines the plan: the system mode, the injector's
+// per-link fault probabilities and decision streams, and the fault
+// event timeline (partitions, link cuts, crash-restarts of a replica
+// and a certifier, a concurrent dump). The plan digest printed per
+// seed is a pure function of the seed, so a failing run is replayed
+// with `tashbench -exp chaos -seed S`.
+
+// chaosReplicas and chaosCertifiers size every chaos cluster.
+const (
+	chaosReplicas   = 3
+	chaosCertifiers = 3
+)
+
+// faultEvent is one planned fault. Kind selects the action; Node and
+// From/To target it; Dur is how long until the heal/restart.
+type faultEvent struct {
+	At   time.Duration
+	Dur  time.Duration
+	Kind string // "cut" | "partition-cert" | "crash-replica" | "crash-certifier" | "dump"
+	Node int
+	From string
+	To   string
+}
+
+// chaosPlan is everything a seed determines up front.
+type chaosPlan struct {
+	seed   int64
+	mode   proxy.Mode
+	rules  chaos.Rules
+	window time.Duration
+	events []faultEvent
+	links  []string
+}
+
+// chaosLinks enumerates every fabric link of the cluster topology.
+func chaosLinks() []string {
+	var out []string
+	for i := 0; i < chaosCertifiers; i++ {
+		for j := 0; j < chaosCertifiers; j++ {
+			if i != j {
+				out = append(out, cluster.CertifierName(i)+"→"+cluster.CertifierName(j))
+			}
+		}
+	}
+	for r := 0; r < chaosReplicas; r++ {
+		for i := 0; i < chaosCertifiers; i++ {
+			out = append(out, cluster.ReplicaName(r)+"→"+cluster.CertifierName(i))
+		}
+	}
+	return out
+}
+
+// buildChaosPlan derives the full fault plan from the seed — a pure
+// function, so two runs of the same seed execute the identical
+// schedule.
+func buildChaosPlan(seed int64, window time.Duration) chaosPlan {
+	rng := rand.New(rand.NewSource(seed ^ 0xC4A05))
+	modes := []proxy.Mode{proxy.TashkentMW, proxy.TashkentAPI, proxy.Base}
+	p := chaosPlan{
+		seed:   seed,
+		mode:   modes[rng.Intn(len(modes))],
+		window: window,
+		links:  chaosLinks(),
+		rules: chaos.Rules{
+			DropProb:     0.01 + 0.03*rng.Float64(),
+			DropRespProb: 0.01 + 0.02*rng.Float64(),
+			DupProb:      0.01 + 0.02*rng.Float64(),
+			DelayProb:    0.05 + 0.10*rng.Float64(),
+			MaxDelay:     time.Duration(1+rng.Intn(4)) * time.Millisecond,
+		},
+	}
+	at := func(loFrac, hiFrac float64) time.Duration {
+		lo, hi := float64(window)*loFrac, float64(window)*hiFrac
+		return time.Duration(lo + rng.Float64()*(hi-lo))
+	}
+	dur := func() time.Duration {
+		return time.Duration(20+rng.Intn(40)) * time.Millisecond
+	}
+
+	// Mandatory coverage per seed: one replica crash-restart, one
+	// certifier crash-restart, one certifier partition, one asymmetric
+	// replica→certifier cut. Crash windows are placed apart so at most
+	// one certifier is ever down (the group needs its majority).
+	p.events = append(p.events,
+		faultEvent{At: at(0.10, 0.30), Dur: dur(), Kind: "crash-certifier", Node: rng.Intn(chaosCertifiers)},
+		faultEvent{At: at(0.55, 0.75), Dur: dur(), Kind: "crash-replica", Node: rng.Intn(chaosReplicas)},
+		faultEvent{At: at(0.20, 0.60), Dur: dur(), Kind: "partition-cert", Node: rng.Intn(chaosCertifiers)},
+		faultEvent{
+			At: at(0.20, 0.60), Dur: dur(), Kind: "cut",
+			From: cluster.ReplicaName(rng.Intn(chaosReplicas)),
+			To:   cluster.CertifierName(rng.Intn(chaosCertifiers)),
+		},
+		faultEvent{At: at(0.30, 0.50), Kind: "dump", Node: rng.Intn(chaosReplicas)},
+	)
+	// A few extra random cuts for asymmetry variety.
+	for n := rng.Intn(3); n > 0; n-- {
+		from := cluster.CertifierName(rng.Intn(chaosCertifiers))
+		to := cluster.CertifierName(rng.Intn(chaosCertifiers))
+		if from == to {
+			continue
+		}
+		p.events = append(p.events, faultEvent{At: at(0.10, 0.70), Dur: dur(), Kind: "cut", From: from, To: to})
+	}
+	sort.Slice(p.events, func(i, j int) bool { return p.events[i].At < p.events[j].At })
+	return p
+}
+
+// Digest fingerprints the planned fault schedule: the event timeline
+// plus the injector's per-link decision streams. Identical for two
+// runs of the same seed.
+func (p chaosPlan) Digest() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "mode=%d window=%d rules=%+v\n", p.mode, p.window, p.rules)
+	for _, e := range p.events {
+		fmt.Fprintf(h, "%d %s n%d %s->%s %d\n", e.At, e.Kind, e.Node, e.From, e.To, e.Dur)
+	}
+	inj := chaos.NewInjector(p.seed, p.rules)
+	fmt.Fprintf(h, "plan=%x\n", inj.PlanDigest(p.links, 512))
+	return h.Sum64()
+}
+
+// ChaosResult is one seed's outcome.
+type ChaosResult struct {
+	Seed       int64
+	Mode       proxy.Mode
+	Digest     uint64
+	Acked      int
+	Aborted    int
+	Unknown    int
+	Reads      int
+	LogEntries int
+	Faults     chaos.Stats
+	Violations []error
+}
+
+// Passed reports whether every invariant held.
+func (r ChaosResult) Passed() bool { return len(r.Violations) == 0 }
+
+// chaosTable and chaosCol are the workload schema of the chaos
+// drivers.
+const (
+	chaosTable = "chaos"
+	chaosCol   = "v"
+	chaosKeys  = 48
+)
+
+// RunChaosSeed executes one seeded chaos run and verifies the
+// invariants. The returned error reports infrastructure failures
+// (cluster refused to start, never converged); invariant violations
+// are in the result.
+func RunChaosSeed(seed int64, o Options) (ChaosResult, error) {
+	return runChaosPlan(buildChaosPlan(seed, 300*time.Millisecond), o)
+}
+
+// runChaosPlan executes one fault plan against a fresh cluster.
+func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
+	o = o.withDefaults()
+	seed := plan.seed
+	window := plan.window
+	res := ChaosResult{Seed: seed, Mode: plan.mode, Digest: plan.Digest()}
+
+	checker := chaos.NewChecker()
+	c, err := cluster.New(cluster.Config{
+		Mode:       plan.mode,
+		Replicas:   chaosReplicas,
+		Certifiers: chaosCertifiers,
+		IOProfile: simdisk.Profile{
+			FsyncLatency: 200 * time.Microsecond,
+			FsyncJitter:  100 * time.Microsecond,
+		},
+		LocalCertification: true,
+		EagerPreCert:       true,
+		LockTimeout:        time.Second,
+		OrderTimeout:       2 * time.Second,
+		CertTimeout:        2 * time.Second,
+		SeqTimeout:         300 * time.Millisecond,
+		StalenessBound:     100 * time.Millisecond,
+		SeqObserver:        checker.SeqObserver,
+		Seed:               seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+
+	inj := chaos.NewInjector(seed, plan.rules)
+	c.Fabric().SetInterposer(inj)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var workers sync.WaitGroup
+	var mu sync.Mutex // guards the tallies below
+	acked, aborted, unknown := 0, 0, 0
+
+	inj.Enable()
+	for w := 0; w < 2*chaosReplicas; w++ {
+		w := w
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(seed*1_000_003 + int64(w)))
+			rep := w % chaosReplicas
+			n := 0
+			for ctx.Err() == nil {
+				origin := rep + 1 // proxy origin id of the chosen replica
+				tx, err := c.Begin(rep)
+				if err != nil {
+					rep = (rep + 1) % chaosReplicas // replica down: roam
+					continue
+				}
+				key := fmt.Sprintf("k%02d", rng.Intn(chaosKeys))
+				if rng.Float64() < 0.25 {
+					val, found, rerr := tx.ReadCol(chaosTable, key, chaosCol)
+					if rerr == nil {
+						checker.RecordRead(chaos.Read{
+							Worker: w,
+							Start:  tx.SnapshotVersion(), Observed: tx.ObservedVersion(),
+							Table: chaosTable, Key: key, Col: chaosCol,
+							Value: string(val), Found: found,
+						})
+					}
+					tx.Abort()
+					continue
+				}
+				n++
+				val := fmt.Sprintf("w%d-%d", w, n)
+				if err := tx.Update(chaosTable, key, map[string][]byte{chaosCol: []byte(val)}); err != nil {
+					tx.Abort()
+					continue
+				}
+				switch err := tx.Commit(); {
+				case err == nil:
+					checker.RecordAck(chaos.Ack{
+						Worker: w, Origin: origin, Version: tx.CommitVersion(),
+						Table: chaosTable, Key: key, Col: chaosCol, Value: val,
+					})
+					mu.Lock()
+					acked++
+					mu.Unlock()
+				case workload.IsAbort(err):
+					mu.Lock()
+					aborted++
+					mu.Unlock()
+				default:
+					// Outcome unknown: the commit may have landed (lost
+					// response) or not (lost request) — either is legal,
+					// the log is the arbiter.
+					mu.Lock()
+					unknown++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// Execute the fault timeline.
+	var drills sync.WaitGroup
+	start := time.Now()
+	certDown := make(chan struct{}, 1) // at most one certifier down at a time
+	for _, ev := range plan.events {
+		ev := ev
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			time.Sleep(d)
+		}
+		switch ev.Kind {
+		case "cut":
+			inj.CutLink(ev.From, ev.To)
+			drills.Add(1)
+			time.AfterFunc(ev.Dur, func() {
+				defer drills.Done()
+				inj.HealLink(ev.From, ev.To)
+			})
+		case "partition-cert":
+			var peers []string
+			for i := 0; i < chaosCertifiers; i++ {
+				if i != ev.Node {
+					peers = append(peers, cluster.CertifierName(i))
+				}
+			}
+			me := cluster.CertifierName(ev.Node)
+			inj.Isolate(me, peers...)
+			drills.Add(1)
+			time.AfterFunc(ev.Dur, func() {
+				defer drills.Done()
+				for _, p := range peers {
+					inj.HealLink(me, p)
+					inj.HealLink(p, me)
+				}
+			})
+		case "crash-replica":
+			c.CrashReplica(ev.Node)
+			drills.Add(1)
+			time.AfterFunc(ev.Dur, func() {
+				defer drills.Done()
+				chaos.WaitUntil(10*time.Second, func() bool {
+					_, err := c.RecoverReplica(ev.Node)
+					return err == nil
+				})
+			})
+		case "crash-certifier":
+			select {
+			case certDown <- struct{}{}:
+			default:
+				continue // another certifier is still down; keep the majority
+			}
+			img := c.CrashCertifier(ev.Node)
+			drills.Add(1)
+			time.AfterFunc(ev.Dur, func() {
+				defer drills.Done()
+				defer func() { <-certDown }()
+				chaos.WaitUntil(10*time.Second, func() bool {
+					return c.RecoverCertifier(ev.Node, img) == nil
+				})
+			})
+		case "dump":
+			if r := c.Replica(ev.Node); r != nil {
+				r.DumpNow() // best effort; a concurrent crash may refuse it
+			}
+		}
+	}
+	if d := time.Until(start.Add(window)); d > 0 {
+		time.Sleep(d)
+	}
+
+	// Heal, drain, converge.
+	cancel()
+	workers.Wait()
+	drills.Wait()
+	inj.Disable()
+	inj.HealAll()
+	res.Faults = inj.Stats()
+	mu.Lock()
+	res.Acked, res.Aborted, res.Unknown = acked, aborted, unknown
+	mu.Unlock()
+	res.Reads = checker.Reads()
+
+	if !chaos.WaitUntil(10*time.Second, func() bool { return c.CertLeader() != nil }) {
+		return res, fmt.Errorf("chaos seed %d: no certifier leader after healing", seed)
+	}
+	// Finalize the tail: a post-failover leader cannot commit the
+	// previous term's entries until one of its own commits, so a quiet
+	// healed group would under-report its committed prefix and the
+	// ground-truth log would exclude acked transactions.
+	if _, err := c.Barrier(10 * time.Second); err != nil {
+		return res, fmt.Errorf("chaos seed %d: %w", seed, err)
+	}
+	if !chaos.WaitUntil(20*time.Second, func() bool { return c.ConvergeAll(2*time.Second) == nil }) {
+		return res, fmt.Errorf("chaos seed %d: cluster never converged after healing", seed)
+	}
+	// Wait for async appliers to publish; if the replicas still
+	// disagree afterwards, Verify reports the divergence with the
+	// fingerprints attached.
+	agreed := chaos.WaitUntil(10*time.Second, func() bool {
+		fps := c.Fingerprints()
+		for i := 1; i < len(fps); i++ {
+			if fps[i] != fps[0] {
+				return false
+			}
+		}
+		return true
+	})
+	if !agreed && os.Getenv("CHAOS_DIFF") != "" {
+		if log, err := committedLog(c.CertLeader()); err == nil {
+			for r := 0; r < c.Replicas(); r++ {
+				fmt.Printf("STATE r%d announced=%d rv=%d stats=%+v\n",
+					r, c.Replica(r).Store().AnnouncedVersion(), c.Replica(r).Proxy().ReplicaVersion(),
+					c.Replica(r).Store().Stats())
+			}
+			dumpChaosDiff(c, log)
+		}
+	}
+
+	log, err := committedLog(c.CertLeader())
+	if err != nil {
+		return res, fmt.Errorf("chaos seed %d: reading committed log: %w", seed, err)
+	}
+	res.LogEntries = len(log)
+	replayFP, err := replayFingerprint(log)
+	if err != nil {
+		return res, fmt.Errorf("chaos seed %d: replaying log: %w", seed, err)
+	}
+	res.Violations = checker.Verify(chaos.VerifyInput{
+		Log:               log,
+		Fingerprints:      c.Fingerprints(),
+		ReplayFingerprint: replayFP,
+	})
+	if res.Acked == 0 {
+		res.Violations = append(res.Violations,
+			fmt.Errorf("liveness: no commit was ever acknowledged under seed %d", seed))
+	}
+	if len(res.Violations) > 0 && os.Getenv("CHAOS_DIFF") != "" {
+		dumpChaosDiff(c, log)
+	}
+	return res, nil
+}
+
+// dumpChaosDiff prints, for every chaos key, each replica's value vs
+// the log-derived expectation (debug aid, CHAOS_DIFF=1).
+func dumpChaosDiff(c *cluster.Cluster, log []chaos.LogEntry) {
+	expect := map[string]string{}
+	valVer := map[string][]uint64{}
+	for _, e := range log {
+		for i := range e.WS.Ops {
+			op := &e.WS.Ops[i]
+			for _, cu := range op.Cols {
+				if op.Table == chaosTable && cu.Col == chaosCol {
+					expect[op.Key] = string(cu.Value)
+				}
+				valVer[string(cu.Value)] = append(valVer[string(cu.Value)], e.Version)
+			}
+		}
+	}
+	for k := 0; k < chaosKeys; k++ {
+		key := fmt.Sprintf("k%02d", k)
+		want := expect[key]
+		line := ""
+		bad := false
+		for r := 0; r < c.Replicas(); r++ {
+			tx, err := c.Begin(r)
+			if err != nil {
+				line += fmt.Sprintf(" r%d=ERR", r)
+				continue
+			}
+			v, ok, _ := tx.ReadCol(chaosTable, key, chaosCol)
+			tx.Abort()
+			got := string(v)
+			if !ok {
+				got = "<absent>"
+			}
+			if got != want {
+				bad = true
+			}
+			line += fmt.Sprintf(" r%d=%q(v%v)", r, got, valVer[got])
+		}
+		if bad {
+			fmt.Printf("DIFF %s want %q(v%v):%s\n", key, want, valVer[want], line)
+		}
+	}
+}
+
+// committedLog decodes the leader's committed log prefix into checker
+// ground truth.
+func committedLog(leader *certifier.Server) ([]chaos.LogEntry, error) {
+	if leader == nil {
+		return nil, fmt.Errorf("no leader")
+	}
+	commit := leader.Node().CommitIndex()
+	_, _, entries := leader.Node().SnapshotLog()
+	if uint64(len(entries)) < commit {
+		return nil, fmt.Errorf("leader log %d shorter than commit index %d", len(entries), commit)
+	}
+	out := make([]chaos.LogEntry, 0, commit)
+	for _, e := range entries[:commit] {
+		origin, _, ws, err := certifier.DecodeLogEntry(e.Data)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", e.Index, err)
+		}
+		out = append(out, chaos.LogEntry{Version: e.Index, Origin: origin, WS: ws})
+	}
+	return out, nil
+}
+
+// replayFingerprint applies the committed log to a fresh store — a
+// witness that never crashed, never saw a partition, and never applied
+// anything out of order — and fingerprints the result.
+func replayFingerprint(log []chaos.LogEntry) (uint32, error) {
+	s := mvstore.Open(mvstore.Config{})
+	defer s.Close()
+	prev := uint64(0)
+	for _, e := range log {
+		tx, err := s.Begin()
+		if err != nil {
+			return 0, err
+		}
+		if err := tx.ApplyWriteset(e.WS); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+		if err := tx.CommitLabeled(prev, e.Version); err != nil {
+			return 0, err
+		}
+		prev = e.Version
+	}
+	return s.Fingerprint(), nil
+}
+
+// RunChaosExperiment runs every seed and prints a per-seed table. The
+// returned error lists the failing seeds (infrastructure failures and
+// invariant violations alike) — the replay handle for debugging.
+func RunChaosExperiment(seeds []int64, o Options) ([]ChaosResult, error) {
+	o = o.withDefaults()
+	fmt.Fprintf(o.Out, "\n=== chaos: seeded fault-injection + invariant check ===\n")
+	fmt.Fprintf(o.Out, "seed\tmode\tdigest\tacked\taborted\tunknown\treads\tlog\tdrops\tdups\tdelays\tcuts\tverdict\n")
+	var results []ChaosResult
+	var failing []int64
+	for _, seed := range seeds {
+		res, err := RunChaosSeed(seed, o)
+		if err != nil {
+			res.Violations = append(res.Violations, err)
+		}
+		results = append(results, res)
+		verdict := "PASS"
+		if !res.Passed() {
+			verdict = "FAIL"
+			failing = append(failing, seed)
+		}
+		fmt.Fprintf(o.Out, "%d\t%s\t%016x\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			res.Seed, res.Mode, res.Digest, res.Acked, res.Aborted, res.Unknown, res.Reads,
+			res.LogEntries, res.Faults.DroppedReqs+res.Faults.DroppedResps,
+			res.Faults.Duplicated, res.Faults.Delayed, res.Faults.CutDrops, verdict)
+		for _, v := range res.Violations {
+			fmt.Fprintf(o.Out, "  seed %d: %v\n", res.Seed, v)
+		}
+	}
+	if len(failing) > 0 {
+		return results, fmt.Errorf("chaos: %d/%d seeds failed invariants: %v (replay with -exp chaos -seed S)",
+			len(failing), len(seeds), failing)
+	}
+	return results, nil
+}

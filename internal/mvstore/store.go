@@ -149,6 +149,10 @@ type Stats struct {
 	Kills           int64
 	RowReads        int64
 	RowWrites       int64
+	// SupersededCommits counts labeled commits that skipped
+	// installation because a catch-up applier (resync) had already
+	// carried the state past their version range.
+	SupersededCommits int64
 }
 
 // statsCounters are the live activity counters, all atomic so hot
@@ -162,6 +166,7 @@ type statsCounters struct {
 	kills           atomic.Int64
 	rowReads        atomic.Int64
 	rowWrites       atomic.Int64
+	superseded      atomic.Int64
 }
 
 // Store is one database instance. All methods are safe for concurrent
@@ -187,6 +192,18 @@ type Store struct {
 	announced atomic.Uint64 // read lock-free; advanced under orderMu
 	orderMu   sync.Mutex
 	orderWait []orderWaiter
+
+	// applyGate serializes the install+announce step of *labeled*
+	// commits so globally-versioned writesets always reach the row
+	// chains in announce order. In healthy operation the gate is
+	// uncontended (the proxy sequencer / order semaphore already
+	// serialize labeled applies); it exists for the degraded paths —
+	// a resync racing in-flight remote appliers after lost responses
+	// or a certifier failover — where two appliers can hold
+	// overlapping version ranges. The loser of the gate finds its
+	// range already announced and skips (supersededCommits), instead
+	// of installing stale values over newer ones.
+	applyGate sync.Mutex
 
 	// Waits-for deadlock graph: blocked tx → lock holder it waits on.
 	// Edges are added and removed only by the waiting transaction.
@@ -261,14 +278,15 @@ func Open(cfg Config) *Store {
 // Stats returns a snapshot of activity counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Commits:         s.stats.commits.Load(),
-		ReadOnlyCommits: s.stats.readOnlyCommits.Load(),
-		Aborts:          s.stats.aborts.Load(),
-		Deadlocks:       s.stats.deadlocks.Load(),
-		WriteConflicts:  s.stats.writeConflicts.Load(),
-		Kills:           s.stats.kills.Load(),
-		RowReads:        s.stats.rowReads.Load(),
-		RowWrites:       s.stats.rowWrites.Load(),
+		Commits:           s.stats.commits.Load(),
+		ReadOnlyCommits:   s.stats.readOnlyCommits.Load(),
+		Aborts:            s.stats.aborts.Load(),
+		Deadlocks:         s.stats.deadlocks.Load(),
+		WriteConflicts:    s.stats.writeConflicts.Load(),
+		Kills:             s.stats.kills.Load(),
+		RowReads:          s.stats.rowReads.Load(),
+		RowWrites:         s.stats.rowWrites.Load(),
+		SupersededCommits: s.stats.superseded.Load(),
 	}
 }
 

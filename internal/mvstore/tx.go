@@ -247,7 +247,10 @@ func (tx *Tx) Commit() error { return tx.CommitLabeled(0, 0) }
 // record: the transaction covers global versions (from, to]. The
 // middleware proxy uses labels so WAL recovery can report which global
 // versions survived (paper §7.2). Announce order is arrival order —
-// callers (Base/Tashkent-MW proxies) serialize externally.
+// callers (Base/Tashkent-MW proxies) serialize externally. A labeled
+// commit whose range the store has already announced past skips
+// installation (see applyCommit): a catch-up resync carried the state
+// beyond it, and installing now would regress newer row versions.
 func (tx *Tx) CommitLabeled(from, to uint64) error {
 	if err := tx.check(); err != nil {
 		return err
@@ -263,6 +266,11 @@ func (tx *Tx) CommitLabeled(from, to uint64) error {
 		s.stats.readOnlyCommits.Add(1)
 		s.unregister(tx.id)
 		return nil
+	}
+	if to > 0 && tx.store.announced.Load() >= to {
+		// Superseded before the WAL write: skip the record too, so a
+		// recovery replay never sees this stale range after newer ones.
+		return tx.finishSuperseded()
 	}
 	rec := encodeCommitRecord(from, to, &tx.ws)
 	if err := tx.store.log.Append(rec); err != nil {
@@ -287,6 +295,10 @@ func (tx *Tx) CommitOrdered(from, to uint64) error {
 	}
 	if tx.ws.Empty() {
 		return fmt.Errorf("mvstore: CommitOrdered on read-only transaction")
+	}
+	if tx.store.announced.Load() >= to {
+		// A catch-up resync already carried the state past this range.
+		return tx.finishSuperseded()
 	}
 	rec := encodeCommitRecord(from, to, &tx.ws)
 	if err := tx.store.log.Append(rec); err != nil {
@@ -354,6 +366,12 @@ func (tx *Tx) CommitOrdered(from, to uint64) error {
 // never observe a torn commit), release write locks
 // (first-committer-wins), and finally advance the commit-order
 // semaphore to announceTo (0 = unlabeled commit, no-op).
+//
+// Labeled commits (announceTo > 0) additionally pass the store's apply
+// gate: installation and the announce advance form one critical
+// section, and a commit whose range was announced past while it waited
+// (a catch-up resync overtook it) skips installation entirely instead
+// of writing stale row versions over newer ones.
 func (tx *Tx) applyCommit(announceTo uint64) error {
 	s := tx.store
 	if s.crashed.Load() {
@@ -375,6 +393,14 @@ func (tx *Tx) applyCommit(announceTo uint64) error {
 		s.unregister(tx.id)
 		return ErrCommitRejected
 	}
+	gated := announceTo > 0
+	if gated {
+		s.applyGate.Lock()
+		if s.announced.Load() >= announceTo {
+			s.applyGate.Unlock()
+			return tx.finishSupersededLatched(held)
+		}
+	}
 	// From here the commit must complete unconditionally: a stall
 	// between sequence allocation and publication would wedge every
 	// later committer's publication wait. Everything below is pure
@@ -395,13 +421,44 @@ func (tx *Tx) applyCommit(announceTo uint64) error {
 	s.published.Store(seq)
 	s.pubCond.Broadcast()
 	s.pubMu.Unlock()
+	if gated {
+		s.advanceAnnounced(announceTo)
+		s.applyGate.Unlock()
+	}
 	s.stats.commits.Add(1)
 	s.releaseItems(tx.id, held, true)
 	s.unregister(tx.id)
-	if announceTo > 0 {
-		s.advanceAnnounced(announceTo)
-	}
 	s.chargeCheckpoint(len(tx.writes))
+	return nil
+}
+
+// finishSuperseded resolves a labeled commit whose version range a
+// catch-up applier already carried into the state: the transaction's
+// effects are (or are overwritten) in the database, so it finishes as
+// a successful commit without installing anything. Locks release as
+// committed — first-committer-wins competitors must still abort.
+func (tx *Tx) finishSuperseded() error {
+	if !tx.state.CompareAndSwap(txActive, txDone) {
+		if tx.state.Load() == txKilled {
+			return ErrTxKilled
+		}
+		return ErrTxDone
+	}
+	tx.mu.Lock()
+	held := tx.held
+	tx.held = nil
+	tx.mu.Unlock()
+	return tx.finishSupersededLatched(held)
+}
+
+// finishSupersededLatched is the tail of finishSuperseded for callers
+// that already latched the state and collected the held locks.
+func (tx *Tx) finishSupersededLatched(held []core.ItemID) error {
+	s := tx.store
+	s.stats.superseded.Add(1)
+	s.stats.commits.Add(1)
+	s.releaseItems(tx.id, held, true)
+	s.unregister(tx.id)
 	return nil
 }
 

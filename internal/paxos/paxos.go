@@ -92,6 +92,12 @@ type Config struct {
 	// Apply is invoked with each committed entry exactly once, in
 	// index order, from a single goroutine.
 	Apply func(e Entry)
+	// CallHook, if set, is consulted before every outgoing peer RPC
+	// (votes, appends); returning a non-nil error suppresses the send,
+	// which the protocol treats like an unreachable peer. The chaos
+	// harness uses it to cut a node's replication links without
+	// touching the transport fabric.
+	CallHook func(peer int, method string) error
 	// ElectionTimeout is the base follower timeout (jittered per
 	// node); HeartbeatInterval the leader's idle append cadence.
 	ElectionTimeout   time.Duration
@@ -217,6 +223,15 @@ func (n *Node) Stop() {
 
 // WALImage returns the crash-surviving log image (stable prefix only).
 func (n *Node) WALImage() []byte { return n.wal.CrashImage(0) }
+
+// Stopped reports whether Stop has begun. Crash drills use it to
+// sequence a blocked-fsync release after the node can no longer
+// acknowledge the pending batch.
+func (n *Node) Stopped() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stopped
+}
 
 // Role returns the node's current role and term.
 func (n *Node) Role() (Role, uint64) {

@@ -92,6 +92,18 @@ func (n *Node) HandleRPC(method string, req []byte) ([]byte, error) {
 	}
 }
 
+// callPeer sends one RPC to a peer, consulting the pluggable call hook
+// first: a hook error suppresses the send, which every caller already
+// treats as an unreachable peer (chaos link cuts, targeted isolation).
+func (n *Node) callPeer(peer int, client transport.Client, method string, req []byte) ([]byte, error) {
+	if h := n.cfg.CallHook; h != nil {
+		if err := h(peer, method); err != nil {
+			return nil, err
+		}
+	}
+	return client.Call(method, req)
+}
+
 // persistMetaLocked writes term/vote durably. Called with n.mu held;
 // temporarily releases it around the disk write.
 func (n *Node) persistMetaLocked() {
@@ -327,7 +339,7 @@ func (n *Node) startElectionLocked() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			respB, err := client.Call(MethodVote, req)
+			respB, err := n.callPeer(id, client, MethodVote, req)
 			if err != nil {
 				return
 			}
@@ -464,7 +476,7 @@ func (n *Node) replicateTo(peer int) {
 		if err != nil {
 			return
 		}
-		respB, err := client.Call(MethodAppend, req)
+		respB, err := n.callPeer(peer, client, MethodAppend, req)
 		if err != nil {
 			return // peer down; heartbeat will retry
 		}

@@ -149,7 +149,20 @@ func (s *sequencer) skipTo(gen, seq uint64) {
 // enterSeq validates the response's epoch and takes its slot in the
 // per-replica sequence (atomically, inside the sequencer's lock).
 func (p *Proxy) enterSeq(epoch, seq uint64) (uint64, error) {
-	return p.seq.enter(epoch, seq, p.cfg.SeqTimeout)
+	gen, err := p.seq.enter(epoch, seq, p.cfg.SeqTimeout)
+	if ob := p.cfg.SeqObserver; ob != nil {
+		outcome := "apply"
+		switch {
+		case errors.Is(err, errStaleSeq):
+			outcome = "stale"
+		case errors.Is(err, errEpochReset):
+			outcome = "epoch-reset"
+		case errors.Is(err, errSeqTimeout):
+			outcome = "gap-timeout"
+		}
+		ob(epoch, seq, outcome)
+	}
+	return gen, err
 }
 
 // --- Serial strategy (Base and Tashkent-MW) ---
@@ -417,10 +430,24 @@ func (p *Proxy) applyBatchWithRecovery(ws *core.Writeset, from, to uint64, order
 }
 
 func (p *Proxy) applyBatchOnce(ws *core.Writeset, from, to uint64, ordered bool) error {
+	if ws.Empty() {
+		// A certifier barrier (no-op) version: nothing to install, but
+		// the announce chain must still advance through it or every
+		// later version would wait forever.
+		if ordered {
+			if err := p.cfg.Store.WaitAnnounced(from, p.cfg.ChunkWaitTimeout); err != nil {
+				return err
+			}
+		}
+		p.cfg.Store.SetAnnounced(to)
+		return nil
+	}
 	tx, err := p.cfg.Store.Begin()
 	if err != nil {
 		return err
 	}
+	p.markApplier(tx.ID(), true)
+	defer p.markApplier(tx.ID(), false)
 	if err := tx.ApplyWriteset(ws); err != nil {
 		tx.Abort()
 		return err
@@ -443,10 +470,50 @@ func (p *Proxy) applyBatchOnce(ws *core.Writeset, from, to uint64, ordered bool)
 func (p *Proxy) applyLocalByWriteset(t *Tx, commitVersion uint64) {
 	ws := t.inner.Writeset().Clone()
 	t.inner.Abort()
-	p.applyBatchWithRecovery(ws, commitVersion-1, commitVersion, false)
-	p.cfg.Store.SetAnnounced(commitVersion)
-	p.advanceRV(commitVersion)
-	p.addStat(func(st *Stats) { st.Commits++ })
+	if p.applyOwnCommit(ws, commitVersion) {
+		p.advanceRV(commitVersion)
+		p.addStat(func(st *Stats) { st.Commits++ })
+	}
+}
+
+// applyOwnCommit installs a certified local writeset on the degraded
+// path (sequencer gap, stale slot, detached commit), reporting whether
+// the replica's state now covers commitVersion. It first waits for the
+// commit's predecessors to be applied: the labeled commit announces
+// commitVersion, and announcing past versions this replica never
+// installed would make every later resync skip them — a permanent
+// hole. A missing predecessor is fetched by resync (which includes our
+// own writesets); if the state already moved past commitVersion, the
+// store's labeled-commit gate turns the apply into a no-op rather than
+// regressing newer versions.
+//
+// On false the caller must NOT advance the planning cursor past
+// commitVersion: leaving it behind is what makes the next staleness
+// pull refetch the uncovered range and heal the gap.
+func (p *Proxy) applyOwnCommit(ws *core.Writeset, commitVersion uint64) bool {
+	for attempt := 0; attempt < 3; attempt++ {
+		err := p.cfg.Store.WaitAnnounced(commitVersion-1, p.cfg.SeqTimeout)
+		if err == nil {
+			if p.applyBatchWithRecovery(ws, commitVersion-1, commitVersion, false) == nil {
+				return true
+			}
+		} else if errors.Is(err, mvstore.ErrCrashed) {
+			return false
+		}
+		// Predecessors lost with their responses (or the apply itself
+		// failed): fetch the range from the certifier. The resync
+		// includes our own writesets, so reaching commitVersion covers
+		// this commit too.
+		if p.Resync() == nil && p.cfg.Store.AnnouncedVersion() >= commitVersion {
+			return true
+		}
+	}
+	// Give up without applying: installing over missing predecessors
+	// would announce past versions this replica does not hold, hiding
+	// them from every future resync. The writeset is durable in the
+	// certifier log, and with the planning cursor left below it the
+	// background pulls refetch and heal the range.
+	return false
 }
 
 // finishDetached resolves a certification response whose client
@@ -461,13 +528,10 @@ func (p *Proxy) finishDetached(resp certifier.Response, ws *core.Writeset) {
 	if err != nil {
 		p.handleSeqFailure(err, gen, resp.ReplicaSeq)
 		if resp.Committed {
-			if err := p.applyBatchWithRecovery(ws, resp.CommitVersion-1, resp.CommitVersion, false); err != nil {
-				p.Resync()
-				return
+			if p.applyOwnCommit(ws, resp.CommitVersion) {
+				p.advanceRV(resp.CommitVersion)
+				p.addStat(func(st *Stats) { st.Commits++ })
 			}
-			p.cfg.Store.SetAnnounced(resp.CommitVersion)
-			p.advanceRV(resp.CommitVersion)
-			p.addStat(func(st *Stats) { st.Commits++ })
 		} else {
 			p.addStat(func(st *Stats) { st.CertAborts++ })
 		}
@@ -559,19 +623,35 @@ func (p *Proxy) handleSeqFailure(cause error, gen, seq uint64) {
 // Resync pulls all missing remote writesets and applies them serially,
 // bringing the replica to the certifier's committed version. Used
 // after crashes, failovers and sequence gaps.
+//
+// The catch-up basis is the store's *applied* watermark (the announce
+// semaphore), not the planning cursor: after lost responses the
+// planning cursor may sit above versions whose writesets never reached
+// this replica — pulling from it would leave permanent holes. Entries
+// the normal appliers did apply (or apply concurrently while this
+// resync runs) are skipped by the store's labeled-commit gate, so
+// overlapping with in-flight appliers is safe.
 func (p *Proxy) Resync() error {
 	p.addStat(func(st *Stats) { st.Resyncs++ })
+	basis := p.cfg.Store.AnnouncedVersion()
 	resp, err := p.cfg.Cert.Pull(certifier.PullRequest{
 		Origin:         p.cfg.ReplicaID,
-		ReplicaVersion: p.ReplicaVersion(),
+		ReplicaVersion: basis,
 		IncludeOwn:     true, // our own writesets were lost with the crash
 	})
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
-	basis := p.rvPlanned
-	p.mu.Unlock()
+	if resp.SystemVersion < basis {
+		// A leader that knows less than we do — typically a freshly
+		// restarted or just-elected node whose commit index has not
+		// caught up with its log (it cannot finalize a previous term's
+		// tail until an entry of its own term commits). Treating its
+		// empty answer as success would declare the gap healed without
+		// fetching anything; fail so the caller retries.
+		return fmt.Errorf("proxy: resync answered by a certifier at version %d, behind our %d",
+			resp.SystemVersion, basis)
+	}
 	remotes, err := p.decodeRemotes(resp.Remote, basis)
 	if err != nil {
 		return err
@@ -584,10 +664,8 @@ func (p *Proxy) Resync() error {
 		cur = r.version
 		p.addStat(func(st *Stats) { st.RemoteApplied++ })
 	}
-	if resp.SystemVersion > cur {
-		cur = resp.SystemVersion
-	}
-	p.cfg.Store.SetAnnounced(cur)
+	// The announce semaphore advanced with each applied entry; never
+	// jump it past versions that were not applied here.
 	p.advanceRV(cur)
 	p.recordRemotes(remotes)
 	return nil

@@ -103,6 +103,13 @@ type Config struct {
 	// SeqTimeout bounds how long a response waits for its turn in the
 	// per-replica sequence before triggering a resync (0 = 5 s).
 	SeqTimeout time.Duration
+	// SeqObserver, if set, is told the outcome of every response-
+	// sequence admission: "apply" (slot taken, state will be applied),
+	// "stale" (already covered by a resync), "epoch-reset" (response
+	// from a superseded leadership term) or "gap-timeout" (a
+	// predecessor was lost; a resync follows). The chaos invariant
+	// checker verifies per-origin sequencing from this stream.
+	SeqObserver func(epoch, seq uint64, outcome string)
 	// ChunkWaitTimeout bounds artificial-conflict waits (0 = 5 s).
 	ChunkWaitTimeout time.Duration
 }
@@ -126,6 +133,14 @@ type Proxy struct {
 	logMu         sync.Mutex
 	recent        []remoteRecord
 	inFlightItems map[core.ItemID]int
+	// applierTxs are the store transaction ids of in-flight remote/
+	// catch-up appliers. Eager pre-certification must never pick one
+	// as a kill victim: appliers install *committed* global state, and
+	// two overlapping appliers (a pending chunk and a resync) killing
+	// each other livelock until both exhaust their retries and drop
+	// committed writesets. Appliers serialize on row locks and the
+	// store's labeled-commit gate instead.
+	applierTxs map[uint64]struct{}
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -152,6 +167,7 @@ func New(cfg Config) *Proxy {
 		seq:           newSequencer(),
 		committing:    make(map[uint64]struct{}),
 		inFlightItems: make(map[core.ItemID]int),
+		applierTxs:    make(map[uint64]struct{}),
 		lastRemote:    time.Now(),
 		stopCh:        make(chan struct{}),
 	}
@@ -538,10 +554,32 @@ func (p *Proxy) killConflictingLocals(ws *core.Writeset, applierTx uint64) {
 		return
 	}
 	for _, id := range p.cfg.Store.ConflictingActiveTxns(ws, applierTx) {
+		if p.isApplierTx(id) {
+			continue // fellow appliers install committed state; never kill them
+		}
 		if p.cfg.Store.Kill(id) {
 			p.addStat(func(st *Stats) { st.EagerKills++ })
 		}
 	}
+}
+
+// markApplier registers (or unregisters) an applier transaction id.
+func (p *Proxy) markApplier(id uint64, on bool) {
+	p.logMu.Lock()
+	if on {
+		p.applierTxs[id] = struct{}{}
+	} else {
+		delete(p.applierTxs, id)
+	}
+	p.logMu.Unlock()
+}
+
+// isApplierTx reports whether id belongs to an in-flight applier.
+func (p *Proxy) isApplierTx(id uint64) bool {
+	p.logMu.Lock()
+	_, ok := p.applierTxs[id]
+	p.logMu.Unlock()
+	return ok
 }
 
 // stalenessLoop implements bounding staleness (§6.2): if the replica
@@ -567,12 +605,20 @@ func (p *Proxy) stalenessLoop() {
 	}
 }
 
-// PullOnce fetches and applies any missing remote writesets once.
+// PullOnce fetches and applies any missing writesets once. The pull
+// includes this replica's own writesets: a pull covers versions above
+// the replica's planned cursor — versions it provably does not have —
+// and in that range "own" writesets exist only if their commit
+// responses were lost (or the replica is rebuilding after a crash).
+// Excluding them would let the merged apply announce past versions
+// whose data never reached this replica, a permanent hole no later
+// resync could see (the resync basis sits above it).
 func (p *Proxy) PullOnce() error {
 	resp, err := p.cfg.Cert.Pull(certifier.PullRequest{
 		Origin:         p.cfg.ReplicaID,
 		ReplicaVersion: p.ReplicaVersion(),
 		NeedSafeBack:   p.cfg.Mode == TashkentAPI,
+		IncludeOwn:     true,
 	})
 	if err != nil {
 		return err

@@ -55,6 +55,12 @@ type Config struct {
 	LocalCertification bool
 	EagerPreCert       bool
 	StalenessBound     time.Duration
+	// SeqTimeout bounds how long the proxy waits for a lost response-
+	// sequence predecessor before resyncing (0 = proxy default).
+	SeqTimeout time.Duration
+	// SeqObserver forwards proxy sequencer admissions to an invariant
+	// checker (see proxy.Config.SeqObserver).
+	SeqObserver func(epoch, seq uint64, outcome string)
 }
 
 // ErrCrashed reports operations on a crashed, unrecovered replica.
@@ -122,6 +128,8 @@ func (r *Replica) newProxy(store *mvstore.Store) *proxy.Proxy {
 		LocalCertification: r.cfg.LocalCertification,
 		EagerPreCert:       r.cfg.EagerPreCert,
 		StalenessBound:     r.cfg.StalenessBound,
+		SeqTimeout:         r.cfg.SeqTimeout,
+		SeqObserver:        r.cfg.SeqObserver,
 	})
 }
 

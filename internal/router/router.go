@@ -54,7 +54,15 @@ type Policy interface {
 // it — so a load-sensitive policy observes the replicas' global load,
 // not just the transactions of its own session.
 type Counters struct {
-	inflight []atomic.Int64
+	slots []counterSlot
+}
+
+// counterSlot is one replica's accounting. gen guards against charges
+// that straddle a Reset: a release acquired before a crash must not
+// drive the rejoined replica's fresh count negative.
+type counterSlot struct {
+	inflight atomic.Int64
+	gen      atomic.Uint64
 }
 
 // NewCounters builds a counter set over n replicas.
@@ -62,14 +70,28 @@ func NewCounters(n int) *Counters {
 	if n < 1 {
 		n = 1
 	}
-	return &Counters{inflight: make([]atomic.Int64, n)}
+	return &Counters{slots: make([]counterSlot, n)}
 }
 
 // N returns the replica count.
-func (c *Counters) N() int { return len(c.inflight) }
+func (c *Counters) N() int { return len(c.slots) }
 
 // Get returns the current open-transaction count at replica i.
-func (c *Counters) Get(i int) int64 { return c.inflight[i].Load() }
+func (c *Counters) Get(i int) int64 { return c.slots[i].inflight.Load() }
+
+// Reset zeroes replica i's in-flight count and invalidates every
+// outstanding charge against it. Called when the replica crashes: its
+// open transactions are gone, so leaving their charges in place would
+// bias load-sensitive policies (leastinflight) against the replica
+// after it rejoins — and letting their releases land after the reset
+// would bias the other way, below zero.
+func (c *Counters) Reset(i int) {
+	if i < 0 || i >= len(c.slots) {
+		return
+	}
+	c.slots[i].gen.Add(1)
+	c.slots[i].inflight.Store(0)
+}
 
 // Balancer fronts a set of replicas for one session: it delegates
 // selection to the policy and charges the shared per-replica in-flight
@@ -120,8 +142,18 @@ func (b *Balancer) Acquire(readOnly bool, excluded []bool) (int, func()) {
 	if i < 0 || i >= n {
 		i = 0
 	}
-	b.counters.inflight[i].Add(1)
-	return i, func() { b.counters.inflight[i].Add(-1) }
+	slot := &b.counters.slots[i]
+	gen := slot.gen.Load()
+	slot.inflight.Add(1)
+	return i, func() {
+		if slot.gen.Load() != gen {
+			return // replica crashed since; Reset already dropped this charge
+		}
+		if n := slot.inflight.Add(-1); n < 0 {
+			// A release racing the reset itself; repair the undershoot.
+			slot.inflight.CompareAndSwap(n, 0)
+		}
+	}
 }
 
 // --- RoundRobin ---

@@ -68,8 +68,8 @@ func TestLeastInFlightUnderSkew(t *testing.T) {
 func TestLeastInFlightPrefersIdleReplica(t *testing.T) {
 	b := NewBalancer(3, NewLeastInFlight())
 	// Saturate replicas 0 and 1 artificially.
-	b.counters.inflight[0].Store(50)
-	b.counters.inflight[1].Store(50)
+	b.counters.slots[0].inflight.Store(50)
+	b.counters.slots[1].inflight.Store(50)
 	for i := 0; i < 20; i++ {
 		idx, release := b.Acquire(false, nil)
 		if idx != 2 {
@@ -199,5 +199,59 @@ func TestParse(t *testing.T) {
 	}
 	if _, err := Parse("bogus", 1); err == nil {
 		t.Error("Parse(bogus) should fail")
+	}
+}
+
+// TestCountersResetOnCrash is the regression test for the crashed-
+// replica counter leak: charges open at crash time used to stay on the
+// counter forever (the crashed replica's transactions never release),
+// biasing leastinflight against the replica after rejoin — and a
+// naive reset would let the old releases drive the count negative,
+// biasing the other way.
+func TestCountersResetOnCrash(t *testing.T) {
+	c := NewCounters(2)
+	b := NewSharedBalancer(c, NewLeastInFlight())
+
+	// Three transactions in flight on replica 0 when it crashes.
+	onlyZero := []bool{false, true}
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		idx, release := b.Acquire(false, onlyZero)
+		if idx != 0 {
+			t.Fatalf("forced acquire picked %d, want 0", idx)
+		}
+		releases = append(releases, release)
+	}
+
+	// Crash: the replica's open transactions are gone; the counter
+	// must read idle immediately, not after the stale releases drain.
+	c.Reset(0)
+	if got := c.Get(0); got != 0 {
+		t.Fatalf("after Reset, in-flight(0) = %d, want 0", got)
+	}
+
+	// The rejoined replica must win leastinflight against a loaded
+	// peer instead of carrying its pre-crash charges.
+	c.slots[1].inflight.Store(1)
+	idx, release := b.Acquire(false, nil)
+	if idx != 0 {
+		t.Fatalf("leastinflight picked %d after rejoin, want idle replica 0", idx)
+	}
+	release()
+
+	// Stale pre-crash releases must be no-ops, never driving the
+	// fresh count negative.
+	for _, r := range releases {
+		r()
+	}
+	if got := c.Get(0); got != 0 {
+		t.Fatalf("stale releases moved in-flight(0) to %d, want 0", got)
+	}
+
+	// Post-reset accounting still balances.
+	_, release = b.Acquire(false, nil)
+	release()
+	if got := c.Get(0) + c.Get(1); got != 1 { // replica 1's artificial charge remains
+		t.Fatalf("post-reset accounting off: total in-flight %d, want 1", got)
 	}
 }

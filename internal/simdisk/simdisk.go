@@ -92,6 +92,26 @@ func (s Stats) GroupRatio() float64 {
 	return float64(s.RecordsSynced) / float64(s.Fsyncs)
 }
 
+// Op identifies the kind of operation a Hook observes.
+type Op uint8
+
+// Operation kinds.
+const (
+	// OpFsync is a synchronous flush of the write cache to media.
+	OpFsync Op = iota + 1
+	// OpPage is a data-page read/write batch.
+	OpPage
+)
+
+// Hook observes every disk operation at its start, before the
+// operation enters the service queue — the exact boundary between "in
+// the volatile cache" and "being made durable". The chaos harness uses
+// it to crash a node between a WAL append and its fsync: a hook may
+// block (holding the operation back) while an orchestrator captures
+// the pre-fsync crash image, but it runs on the calling goroutine and
+// must never call back into the same Disk.
+type Hook func(op Op, records, bytes int)
+
 // Disk is one simulated IO channel. The zero value is not usable; use
 // New.
 type Disk struct {
@@ -100,6 +120,27 @@ type Disk struct {
 	rng     *rand.Rand
 	stats   Stats
 	created time.Time
+
+	hookMu sync.Mutex
+	hook   Hook
+}
+
+// SetHook installs (or, with nil, removes) the operation hook.
+func (d *Disk) SetHook(h Hook) {
+	d.hookMu.Lock()
+	d.hook = h
+	d.hookMu.Unlock()
+}
+
+// fireHook invokes the installed hook, if any, outside the service
+// lock.
+func (d *Disk) fireHook(op Op, records, bytes int) {
+	d.hookMu.Lock()
+	h := d.hook
+	d.hookMu.Unlock()
+	if h != nil {
+		h(op, records, bytes)
+	}
 }
 
 // New returns a disk with the given profile. seed fixes the jitter
@@ -127,6 +168,7 @@ func (d *Disk) Fsync(records int, bytes int) {
 	if records < 0 || bytes < 0 {
 		panic("simdisk: negative fsync accounting")
 	}
+	d.fireHook(OpFsync, records, bytes)
 	d.mu.Lock()
 	dur := d.prof.FsyncLatency
 	if j := d.prof.FsyncJitter; j > 0 {
@@ -152,6 +194,7 @@ func (d *Disk) PageOps(n int) {
 	if n <= 0 {
 		return
 	}
+	d.fireHook(OpPage, n, 0)
 	d.mu.Lock()
 	if d.prof.PageLatency == 0 {
 		d.stats.PageOps += int64(n)

@@ -45,6 +45,16 @@ type Server interface {
 // has shut down. Callers treat it as a node failure.
 var ErrUnavailable = errors.New("transport: endpoint unavailable")
 
+// Interposer intercepts every in-process call for fault injection
+// (internal/chaos). deliver performs the real round trip; an
+// interposer may call it zero times (dropped request / cut link), once
+// (normal, possibly after a delay), or several times (duplicated
+// message — the extra responses are discarded by the interposer).
+// Implementations must be safe for concurrent use.
+type Interposer interface {
+	Call(from, to, method string, req []byte, deliver func() ([]byte, error)) ([]byte, error)
+}
+
 // RemoteError carries an application-level error string returned by a
 // handler across the wire.
 type RemoteError struct{ Msg string }
@@ -58,6 +68,7 @@ func (e *RemoteError) Error() string { return "transport: remote error: " + e.Ms
 type LocalFabric struct {
 	mu      sync.RWMutex
 	servers map[string]*localServer
+	interp  Interposer
 	// Delay is applied once per request and once per response,
 	// modelling one-way LAN latency.
 	Delay time.Duration
@@ -102,6 +113,7 @@ func (f *LocalFabric) Serve(name string, h Handler) Server {
 
 type localClient struct {
 	fabric *LocalFabric
+	from   string
 	name   string
 }
 
@@ -111,7 +123,37 @@ func (f *LocalFabric) Dial(name string) Client {
 	return &localClient{fabric: f, name: name}
 }
 
+// DialFrom is Dial with a caller identity attached, so an installed
+// Interposer sees which link (from → to) each message travels —
+// required for asymmetric partitions.
+func (f *LocalFabric) DialFrom(from, name string) Client {
+	return &localClient{fabric: f, from: from, name: name}
+}
+
+// SetInterposer installs (or, with nil, removes) the fault-injection
+// interposer consulted on every call.
+func (f *LocalFabric) SetInterposer(ip Interposer) {
+	f.mu.Lock()
+	f.interp = ip
+	f.mu.Unlock()
+}
+
 func (c *localClient) Call(method string, req []byte) ([]byte, error) {
+	c.fabric.mu.RLock()
+	interp := c.fabric.interp
+	c.fabric.mu.RUnlock()
+	if interp == nil {
+		return c.deliver(method, req)
+	}
+	return interp.Call(c.from, c.name, method, req, func() ([]byte, error) {
+		return c.deliver(method, req)
+	})
+}
+
+// deliver performs the real round trip. Server resolution happens per
+// invocation, so a duplicated delivery after a restart reaches the new
+// registration.
+func (c *localClient) deliver(method string, req []byte) ([]byte, error) {
 	c.fabric.mu.RLock()
 	s := c.fabric.servers[c.name]
 	delay := c.fabric.Delay

@@ -148,7 +148,12 @@ func Start(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{c: c, counters: router.NewCounters(c.Replicas())}, nil
+	db := &DB{c: c, counters: router.NewCounters(c.Replicas())}
+	// A crashed replica's open transactions are gone with it: drop
+	// their routing charges so load-sensitive policies see the replica
+	// as idle when it rejoins.
+	c.OnReplicaCrash(db.counters.Reset)
+	return db, nil
 }
 
 // Replicas returns the replica count.
