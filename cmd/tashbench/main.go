@@ -11,6 +11,7 @@
 //	tashbench -exp policies -policy roundrobin,leastinflight,rwsplit
 //	tashbench -exp batching -replicas 1,4,8,15 -maxbatch 256
 //	tashbench -exp readscale -clientsweep 1,2,4,8,16,32
+//	tashbench -exp partitions -partitions 1,2,4,8 -replicas 4 -clients 32
 //	tashbench -exp chaos -seed 1 -seeds 20
 //
 // Experiments: fig4 (covers Fig 4+5), fig6 (6+7), fig8 (8+9),
@@ -19,7 +20,11 @@
 // batching (update-heavy writesets-per-fsync / pipeline batch-size
 // sweep — the paper's headline figure), readscale (single-replica
 // TPC-W client sweep exercising the storage engine's snapshot-read
-// path), chaos (seeded deterministic fault injection — partitions,
+// path), partitions (certifier-group sweep: update-heavy
+// certification throughput vs keyspace partition count at a fixed
+// replica count — the first value of -replicas — with per-group
+// batching and disk-utilization breakdown), chaos (seeded
+// deterministic fault injection — partitions,
 // drops, duplicates, reorders, replica and certifier crash-restarts —
 // with a machine-checked safety-invariant verdict per seed; -seed
 // selects the first seed, -seeds how many consecutive seeds to run,
@@ -39,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|chaos|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|partitions|chaos|all")
 		scale    = flag.Int("scale", 10, "divide paper disk latencies by this factor (1 = full 8ms fsyncs)")
 		replicas = flag.String("replicas", "1,2,4,8,12,15", "comma-separated replica counts to sweep")
 		clients  = flag.Int("clients", 10, "closed-loop clients per replica")
@@ -53,6 +58,8 @@ func main() {
 		clientSweep = flag.String("clientsweep", "1,2,4,8,16,32",
 			"comma-separated client counts for -exp readscale")
 		chaosSeeds = flag.Int("seeds", 20, "number of consecutive seeds for -exp chaos (starting at -seed)")
+		partitions = flag.String("partitions", "1,2,4,8",
+			"comma-separated certifier-group counts for -exp partitions")
 	)
 	flag.Parse()
 
@@ -62,6 +69,11 @@ func main() {
 		os.Exit(2)
 	}
 	sweep, err := parseCounts(*clientSweep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	parts, err := parseCounts(*partitions)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -99,6 +111,10 @@ func main() {
 		},
 		"batching":  func() error { _, err := harness.RunBatchingExperiment(opt); return err },
 		"readscale": func() error { _, err := harness.RunReadScaleExperiment(sweep, opt); return err },
+		"partitions": func() error {
+			_, err := harness.RunPartitionsExperiment(parts, counts[0], opt)
+			return err
+		},
 		"chaos": func() error {
 			if *chaosSeeds < 1 {
 				*chaosSeeds = 1
@@ -111,7 +127,7 @@ func main() {
 			return err
 		},
 	}
-	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale", "chaos"}
+	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale", "partitions", "chaos"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -488,15 +488,24 @@ func TestEntryDataRoundTrip(t *testing.T) {
 	ws := &core.Writeset{Ops: []core.WriteOp{{Kind: core.OpInsert, Table: "a", Key: "b",
 		Cols: []core.ColUpdate{{Col: "c", Value: []byte("d")}}}}}
 	data := encodeEntryData(7, 42, ws)
-	origin, start, got, err := decodeEntryData(data)
+	e, err := decodeEntryData(data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if origin != 7 || start != 42 || !got.Intersects(ws) {
-		t.Errorf("decoded origin=%d start=%d ws=%v", origin, start, got)
+	if e.Kind != core.KindData || e.Origin != 7 || e.Start != 42 || !e.WS.Intersects(ws) {
+		t.Errorf("decoded kind=%v origin=%d start=%d ws=%v", e.Kind, e.Origin, e.Start, e.WS)
 	}
-	if _, _, _, err := decodeEntryData(data[:5]); err == nil {
+	if _, err := decodeEntryData(data[:5]); err == nil {
 		t.Error("short entry accepted")
+	}
+
+	pdata := encodeEntry(core.KindPrepare, 3, 9, 77, []int{0, 2}, ws)
+	pe, err := decodeEntryData(pdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Kind != core.KindPrepare || pe.GID != 77 || len(pe.Involved) != 2 || pe.Involved[1] != 2 {
+		t.Errorf("decoded prepare = %+v", pe)
 	}
 }
 

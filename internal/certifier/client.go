@@ -49,6 +49,30 @@ func (c *Client) Pull(req PullRequest) (PullResponse, error) {
 	return resp, err
 }
 
+// Prepare runs phase 1 of a cross-partition commit against this
+// group's leader. Safe to retry: the server is idempotent per gid.
+func (c *Client) Prepare(req PrepareRequest) (PrepareResponse, error) {
+	var resp PrepareResponse
+	err := c.call(MethodPrepare, req, &resp)
+	return resp, err
+}
+
+// Resolve runs phase 2 (commit or abort decision) against this
+// group's leader. Safe to retry: the first decision marker wins.
+func (c *Client) Resolve(req ResolveRequest) (ResolveResponse, error) {
+	var resp ResolveResponse
+	err := c.call(MethodResolve, req, &resp)
+	return resp, err
+}
+
+// Fill asks the group leader to pad its log to at least target
+// entries (deterministic-merge liveness; see Server.FillTo).
+func (c *Client) Fill(target uint64) (FillResponse, error) {
+	var resp FillResponse
+	err := c.call(MethodFill, FillRequest{Target: target}, &resp)
+	return resp, err
+}
+
 func (c *Client) call(method string, req, resp interface{}) error {
 	payload, err := gobEncode(req)
 	if err != nil {

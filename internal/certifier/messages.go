@@ -26,6 +26,11 @@ import (
 const (
 	MethodCertify = "cert.certify"
 	MethodPull    = "cert.pull"
+	// Partitioned-certification methods (one certifier group per
+	// keyspace partition; see internal/partition).
+	MethodPrepare = "cert.prepare"
+	MethodResolve = "cert.resolve"
+	MethodFill    = "cert.fill"
 )
 
 // Request is one certification request: the writeset and start version
@@ -99,12 +104,64 @@ type PullRequest struct {
 type PullResponse struct {
 	Remote        []RemoteWS
 	SystemVersion uint64
+	// Busy reports whether the group had admitted-but-unresolved
+	// certifications (or prepares/resolves) when the pull was served:
+	// more log entries are imminent. A partitioned replica's merger
+	// uses it to fill only genuinely idle groups.
+	Busy bool
 	// ReplicaSeq orders pull responses into the same per-replica
 	// application sequence as certification responses.
 	ReplicaSeq uint64
 	// SeqEpoch is the leadership term that assigned ReplicaSeq (see
 	// Response.SeqEpoch).
 	SeqEpoch uint64
+}
+
+// PrepareRequest is phase 1 of a cross-partition commit: certify and
+// lock this group's slice of the writeset under a cluster-wide
+// transaction id. The prepare is durable (its own paxos commit) before
+// the response returns.
+type PrepareRequest struct {
+	GID            uint64
+	Origin         int
+	StartVersion   uint64 // the transaction's snapshot, in this group's version space
+	Involved       []int  // partition ids participating in the transaction
+	WSBytes        []byte // this group's slice of the writeset
+	ReplicaVersion uint64 // coordinator's frontier in this group, for piggybacked entries
+}
+
+// PrepareResponse reports the phase-1 outcome.
+type PrepareResponse struct {
+	Prepared      bool
+	Index         uint64 // the prepare entry's log index when Prepared
+	SystemVersion uint64
+}
+
+// ResolveRequest is phase 2: append the commit or abort decision
+// marker for a previously prepared transaction. Resolve is idempotent
+// — a retry returns the first marker's index.
+type ResolveRequest struct {
+	GID    uint64
+	Commit bool
+}
+
+// ResolveResponse reports the decision marker's log index.
+type ResolveResponse struct {
+	Index         uint64
+	SystemVersion uint64
+}
+
+// FillRequest asks the group leader to pad its log with no-op fill
+// entries up to Target entries, releasing replicas blocked on this
+// group's stream in the deterministic merge (an idle partition would
+// otherwise stall every cross-stream reader).
+type FillRequest struct {
+	Target uint64
+}
+
+// FillResponse reports the committed head after the fill.
+type FillResponse struct {
+	Head uint64
 }
 
 // notLeaderPrefix marks redirect errors so clients fail over.
@@ -132,34 +189,101 @@ func parseNotLeader(msg string) (hint int, ok bool) {
 
 // Log-entry payload: the data stored in each paxos log entry.
 //
-//	uint32 origin | uint64 startVersion | writeset
+//	uint8 kind | uint32 origin | uint64 startVersion
+//	[ uint64 gid | uint16 nInvolved | uint16 pid ... ]   (2PC kinds only)
+//	writeset
 //
 // startVersion is retained so an engine rebuilt from the log keeps the
-// certified-back memos.
+// certified-back memos. Decision markers encode an empty writeset —
+// the published items are recovered from the gid's prepare entry.
 
-func encodeEntryData(origin int, start uint64, ws *core.Writeset) []byte {
-	buf := make([]byte, 0, 12+ws.Size())
+// Entry is one decoded paxos log entry payload.
+type Entry struct {
+	Kind     core.EntryKind
+	Origin   int
+	Start    uint64
+	GID      uint64
+	Involved []int
+	WS       *core.Writeset
+}
+
+func encodeEntry(kind core.EntryKind, origin int, start, gid uint64, involved []int, ws *core.Writeset) []byte {
+	buf := make([]byte, 0, 25+2*len(involved)+ws.Size())
+	buf = append(buf, byte(kind))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(origin))
 	buf = binary.BigEndian.AppendUint64(buf, start)
+	if kind != core.KindData {
+		buf = binary.BigEndian.AppendUint64(buf, gid)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(involved)))
+		for _, pid := range involved {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(pid))
+		}
+	}
 	return ws.Encode(buf)
 }
 
-// DecodeLogEntry decodes one paxos log entry's payload into its
-// origin replica, start version and writeset. The chaos invariant
-// checker uses it to turn the certifier's committed log into the
-// ground truth every client-visible event is verified against.
-func DecodeLogEntry(data []byte) (origin int, start uint64, ws *core.Writeset, err error) {
+func encodeEntryData(origin int, start uint64, ws *core.Writeset) []byte {
+	return encodeEntry(core.KindData, origin, start, 0, nil, ws)
+}
+
+// EncodeEntry builds a raw log-entry payload — the exported
+// counterpart of DecodeLogEntry, used by partition-merge tests and
+// tools that synthesize per-group streams.
+func EncodeEntry(e Entry) []byte {
+	ws := e.WS
+	if ws == nil {
+		ws = &core.Writeset{}
+	}
+	return encodeEntry(e.Kind, e.Origin, e.Start, e.GID, e.Involved, ws)
+}
+
+// encodeEngineEntry re-encodes a retained engine log entry into the
+// wire payload format, for shipping raw entries to partitioned
+// replicas. Decision markers are encoded with an empty writeset even
+// though the engine memoizes the published items on them.
+func encodeEngineEntry(e core.LogEntry) []byte {
+	ws := e.WS
+	if e.Kind == core.KindCommitMarker || e.Kind == core.KindAbortMarker {
+		ws = &core.Writeset{}
+	}
+	return encodeEntry(e.Kind, e.Origin, uint64(e.CertifiedBack), e.GID, e.Involved, ws)
+}
+
+// DecodeLogEntry decodes one paxos log entry's payload. The chaos
+// invariant checker and the partitioned replicas use it to turn
+// committed log entries back into typed records.
+func DecodeLogEntry(data []byte) (Entry, error) {
 	return decodeEntryData(data)
 }
 
-func decodeEntryData(data []byte) (origin int, start uint64, ws *core.Writeset, err error) {
-	if len(data) < 12 {
-		return 0, 0, nil, fmt.Errorf("certifier: short log entry (%d bytes)", len(data))
+func decodeEntryData(data []byte) (Entry, error) {
+	var e Entry
+	if len(data) < 13 {
+		return e, fmt.Errorf("certifier: short log entry (%d bytes)", len(data))
 	}
-	origin = int(binary.BigEndian.Uint32(data[0:4]))
-	start = binary.BigEndian.Uint64(data[4:12])
-	ws, _, err = core.DecodeWriteset(data[12:])
-	return origin, start, ws, err
+	e.Kind = core.EntryKind(data[0])
+	e.Origin = int(binary.BigEndian.Uint32(data[1:5]))
+	e.Start = binary.BigEndian.Uint64(data[5:13])
+	rest := data[13:]
+	if e.Kind != core.KindData {
+		if len(rest) < 10 {
+			return e, fmt.Errorf("certifier: short 2pc log entry (%d bytes)", len(data))
+		}
+		e.GID = binary.BigEndian.Uint64(rest[0:8])
+		n := int(binary.BigEndian.Uint16(rest[8:10]))
+		rest = rest[10:]
+		if len(rest) < 2*n {
+			return e, fmt.Errorf("certifier: truncated involved list (%d of %d pids)", len(rest)/2, n)
+		}
+		e.Involved = make([]int, n)
+		for i := 0; i < n; i++ {
+			e.Involved[i] = int(binary.BigEndian.Uint16(rest[2*i:]))
+		}
+		rest = rest[2*n:]
+	}
+	ws, _, err := core.DecodeWriteset(rest)
+	e.WS = ws
+	return e, err
 }
 
 // gobEncode/gobDecode delegate to the transport's pooled codec.

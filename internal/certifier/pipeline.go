@@ -65,6 +65,8 @@ func (s *Server) certify(req Request) (Response, error) {
 	if ws.Empty() {
 		return Response{}, errors.New("certifier: empty writeset (read-only transactions commit at the replica)")
 	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
 	t := &certifyTask{req: req, ws: ws, done: make(chan struct{})}
 	select {
 	case s.admitCh <- t:

@@ -61,6 +61,13 @@ type Config struct {
 	// ElectionTimeout/Seed tune the underlying replication group.
 	ElectionTimeout time.Duration
 	Seed            int64
+	// Partitioned marks this certifier as one group of a partitioned
+	// deployment: responses ship raw log-entry payloads (kind, 2PC
+	// metadata and all) instead of bare writesets, because partitioned
+	// replicas merge full per-group streams (see internal/partition).
+	Partitioned bool
+	// Group is the partition id this certifier serves (informational).
+	Group int
 }
 
 // defaultMaxBatch bounds one certification batch when Config.MaxBatch
@@ -89,6 +96,12 @@ type Server struct {
 	// barrierInFlight coalesces the automatic post-election barrier
 	// (see ensureEngineLocked).
 	barrierInFlight atomic.Bool
+	// inFlight counts admitted-but-unresolved log-appending requests
+	// (certifications, prepares, resolves). Pull responses report it so
+	// a partitioned replica's merger can tell a group that is about to
+	// commit more entries from one that is genuinely idle and needs a
+	// fill to unblock the merge.
+	inFlight atomic.Int64
 
 	mu         sync.Mutex // guards engine + basisTerm + rng + stats
 	engine     *core.Engine
@@ -231,6 +244,36 @@ func (s *Server) Handle(method string, req []byte) ([]byte, error) {
 			return nil, err
 		}
 		return gobEncode(resp)
+	case method == MethodPrepare:
+		var r PrepareRequest
+		if err := gobDecode(req, &r); err != nil {
+			return nil, err
+		}
+		resp, err := s.Prepare(r)
+		if err != nil {
+			return nil, err
+		}
+		return gobEncode(resp)
+	case method == MethodResolve:
+		var r ResolveRequest
+		if err := gobDecode(req, &r); err != nil {
+			return nil, err
+		}
+		resp, err := s.Resolve(r)
+		if err != nil {
+			return nil, err
+		}
+		return gobEncode(resp)
+	case method == MethodFill:
+		var r FillRequest
+		if err := gobDecode(req, &r); err != nil {
+			return nil, err
+		}
+		head, err := s.FillTo(r.Target)
+		if err != nil {
+			return nil, err
+		}
+		return gobEncode(FillResponse{Head: head})
 	default:
 		return nil, fmt.Errorf("certifier: unknown method %q", method)
 	}
@@ -249,13 +292,14 @@ func (s *Server) ensureEngineLocked() error {
 	}
 	eng := core.NewEngine()
 	for _, e := range entries {
-		origin, start, ws, err := decodeEntryData(e.Data)
+		dec, err := decodeEntryData(e.Data)
 		if err != nil {
 			return fmt.Errorf("certifier: rebuilding engine: %w", err)
 		}
 		if err := eng.Append(core.LogEntry{
-			Version: core.Version(e.Index), WS: ws, Origin: origin,
-			CertifiedBack: core.Version(start),
+			Version: core.Version(e.Index), WS: dec.WS, Origin: dec.Origin,
+			CertifiedBack: core.Version(dec.Start),
+			Kind:          dec.Kind, GID: dec.GID, Involved: dec.Involved,
 		}); err != nil {
 			return fmt.Errorf("certifier: rebuilding engine: %w", err)
 		}
@@ -356,6 +400,11 @@ func (s *Server) fillRemotesLocked(resp *Response, origin int, includeOwn bool, 
 			continue
 		}
 		r := RemoteWS{Version: uint64(e.Version), WSBytes: e.WS.Encode(nil)}
+		if s.cfg.Partitioned {
+			// Partitioned replicas merge full per-group streams: ship
+			// the raw entry payload (kind and 2PC metadata included).
+			r.WSBytes = encodeEngineEntry(e)
+		}
 		if needSafeBack {
 			back, err := s.engine.CertifyBack(e.Version, core.Version(after))
 			if err == nil {
@@ -368,6 +417,203 @@ func (s *Server) fillRemotesLocked(resp *Response, origin int, includeOwn bool, 
 		resp.Remote = append(resp.Remote, r)
 		s.stats.RemoteShipped++
 	}
+}
+
+// waitIndexCommitted waits until the group's committed prefix covers
+// index. Unlike paxos.WaitCommitted it does not pin a term: it is used
+// for idempotent retries whose entry may have been proposed in an
+// earlier term (the entry is identified by content, not by (index,
+// term)).
+func (s *Server) waitIndexCommitted(index uint64) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for s.node.CommitIndex() < index {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("certifier: index %d not committed in time", index)
+		}
+		select {
+		case <-s.stopCh:
+			return paxos.ErrStopped
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// Prepare serves phase 1 of a cross-partition commit: conflict-check
+// this group's slice of the writeset, lock its items under the
+// transaction's gid, and append a durable prepare entry. Idempotent:
+// a retry of an already-prepared gid returns the existing entry.
+func (s *Server) Prepare(req PrepareRequest) (PrepareResponse, error) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.mu.Lock()
+	if err := s.ensureEngineLocked(); err != nil {
+		s.mu.Unlock()
+		return PrepareResponse{}, err
+	}
+	s.stats.Requests++
+	if v, ok := s.engine.PreparedAt(req.GID); ok {
+		s.mu.Unlock()
+		if err := s.waitIndexCommitted(uint64(v)); err != nil {
+			return PrepareResponse{}, err
+		}
+		return PrepareResponse{Prepared: true, Index: uint64(v), SystemVersion: s.committedCap()}, nil
+	}
+	if _, _, ok := s.engine.Resolution(req.GID); ok {
+		// The decision marker is already in the log (a coordinator
+		// retry raced its own abort): this gid can never prepare again.
+		s.stats.Aborts++
+		s.mu.Unlock()
+		return PrepareResponse{SystemVersion: s.committedCap()}, nil
+	}
+	ws, _, err := core.DecodeWriteset(req.WSBytes)
+	if err != nil {
+		s.mu.Unlock()
+		return PrepareResponse{}, fmt.Errorf("certifier: undecodable prepare writeset: %w", err)
+	}
+	if s.engine.Conflicts(core.Version(req.StartVersion), ws) {
+		s.stats.Aborts++
+		s.mu.Unlock()
+		return PrepareResponse{SystemVersion: s.committedCap()}, nil
+	}
+	if s.cfg.AbortRate > 0 && s.rng.Float64() < s.cfg.AbortRate {
+		s.stats.InjectedAborts++
+		s.stats.Aborts++
+		s.mu.Unlock()
+		return PrepareResponse{SystemVersion: s.committedCap()}, nil
+	}
+	version := uint64(s.engine.SystemVersion()) + 1
+	data := encodeEntry(core.KindPrepare, req.Origin, req.StartVersion, req.GID, req.Involved, ws)
+	first, term, err := s.node.ProposeBatchAt(version-1, [][]byte{data})
+	if err == nil && first != version {
+		err = fmt.Errorf("certifier: prepare proposed at index %d, engine expected %d", first, version)
+	}
+	if err != nil {
+		s.basisValid = false
+		s.mu.Unlock()
+		return PrepareResponse{}, err
+	}
+	if aerr := s.engine.Append(core.LogEntry{
+		Version: core.Version(version), WS: ws, Origin: req.Origin,
+		CertifiedBack: core.Version(req.StartVersion),
+		Kind:          core.KindPrepare, GID: req.GID, Involved: req.Involved,
+	}); aerr != nil {
+		s.basisValid = false
+	}
+	s.stats.Commits++
+	s.mu.Unlock()
+	if err := s.node.WaitCommitted(first, term); err != nil {
+		return PrepareResponse{}, err
+	}
+	return PrepareResponse{Prepared: true, Index: version, SystemVersion: s.committedCap()}, nil
+}
+
+// Resolve serves phase 2: append the commit or abort decision marker
+// for a prepared gid. Idempotent — the first marker wins and retries
+// return its index.
+func (s *Server) Resolve(req ResolveRequest) (ResolveResponse, error) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	s.mu.Lock()
+	if err := s.ensureEngineLocked(); err != nil {
+		s.mu.Unlock()
+		return ResolveResponse{}, err
+	}
+	if v, _, ok := s.engine.Resolution(req.GID); ok {
+		s.mu.Unlock()
+		if err := s.waitIndexCommitted(uint64(v)); err != nil {
+			return ResolveResponse{}, err
+		}
+		return ResolveResponse{Index: uint64(v), SystemVersion: s.committedCap()}, nil
+	}
+	if _, ok := s.engine.PreparedAt(req.GID); !ok && req.Commit {
+		// A commit decision for a gid this group never prepared: the
+		// coordinator's phase-1 ack can only have come from a durable
+		// prepare, so any leader must see it. Refuse loudly.
+		s.mu.Unlock()
+		return ResolveResponse{}, fmt.Errorf("certifier: resolve-commit for unknown gid %d", req.GID)
+	}
+	kind := core.KindAbortMarker
+	if req.Commit {
+		kind = core.KindCommitMarker
+	}
+	version := uint64(s.engine.SystemVersion()) + 1
+	data := encodeEntry(kind, 0, 0, req.GID, nil, &core.Writeset{})
+	first, term, err := s.node.ProposeBatchAt(version-1, [][]byte{data})
+	if err == nil && first != version {
+		err = fmt.Errorf("certifier: resolve proposed at index %d, engine expected %d", first, version)
+	}
+	if err != nil {
+		s.basisValid = false
+		s.mu.Unlock()
+		return ResolveResponse{}, err
+	}
+	if aerr := s.engine.Append(core.LogEntry{
+		Version: core.Version(version), WS: &core.Writeset{},
+		Kind: kind, GID: req.GID,
+	}); aerr != nil {
+		s.basisValid = false
+	}
+	s.mu.Unlock()
+	if err := s.node.WaitCommitted(first, term); err != nil {
+		return ResolveResponse{}, err
+	}
+	return ResolveResponse{Index: version, SystemVersion: s.committedCap()}, nil
+}
+
+// maxFill bounds one fill request; a merge that is further behind asks
+// again.
+const maxFill = 4096
+
+// FillTo pads the group's log with no-op fill entries until it holds
+// at least target entries, then waits for them to commit. Replicas
+// blocked on this group's position in the deterministic merge call it
+// (through the proxy) when the group is idle. Returns the committed
+// head.
+func (s *Server) FillTo(target uint64) (uint64, error) {
+	s.mu.Lock()
+	if err := s.ensureEngineLocked(); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	head := uint64(s.engine.SystemVersion())
+	if head >= target {
+		s.mu.Unlock()
+		if err := s.waitIndexCommitted(target); err != nil {
+			return 0, err
+		}
+		return s.committedCap(), nil
+	}
+	n := target - head
+	if n > maxFill {
+		n = maxFill
+	}
+	datas := make([][]byte, n)
+	entries := make([]core.LogEntry, n)
+	for i := range datas {
+		datas[i] = encodeEntryData(core.BarrierOrigin, 0, &core.Writeset{})
+		entries[i] = core.LogEntry{Version: core.Version(head + uint64(i) + 1), WS: &core.Writeset{}, Origin: core.BarrierOrigin}
+	}
+	first, term, err := s.node.ProposeBatchAt(head, datas)
+	if err == nil && first != head+1 {
+		err = fmt.Errorf("certifier: fill proposed at index %d, engine expected %d", first, head+1)
+	}
+	if err != nil {
+		s.basisValid = false
+		s.mu.Unlock()
+		return 0, err
+	}
+	for _, e := range entries {
+		if aerr := s.engine.Append(e); aerr != nil {
+			s.basisValid = false
+			break
+		}
+	}
+	s.mu.Unlock()
+	if err := s.node.WaitCommitted(first+n-1, term); err != nil {
+		return 0, err
+	}
+	return s.committedCap(), nil
 }
 
 // pull serves the staleness-bounding fetch: all committed remote
@@ -384,6 +630,7 @@ func (s *Server) pull(req PullRequest) (PullResponse, error) {
 	s.fillRemotesLocked(&r, req.Origin, req.IncludeOwn, req.ReplicaVersion, upTo, req.NeedSafeBack)
 	return PullResponse{
 		Remote: r.Remote, SystemVersion: upTo,
+		Busy:       s.inFlight.Load() > 0,
 		ReplicaSeq: s.nextReplicaSeqLocked(req.Origin),
 		SeqEpoch:   s.basisTerm,
 	}, nil

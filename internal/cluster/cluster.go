@@ -14,6 +14,7 @@ import (
 
 	"tashkent/internal/certifier"
 	"tashkent/internal/mvstore"
+	"tashkent/internal/partition"
 	"tashkent/internal/proxy"
 	"tashkent/internal/replica"
 	"tashkent/internal/simdisk"
@@ -30,6 +31,11 @@ type Config struct {
 	// Certifiers is the certifier group size (default 3: a leader and
 	// two backups, as in the paper).
 	Certifiers int
+	// Partitions shards the keyspace across this many independent
+	// certifier groups (see internal/partition); 0 or 1 keeps the
+	// classic single-group system. Each group is its own paxos cluster
+	// of Certifiers nodes with its own log disk.
+	Partitions int
 	// DisableCertDurability turns off certifier disk writes — the
 	// tashAPInoCERT configuration of §9.2.
 	DisableCertDurability bool
@@ -89,10 +95,14 @@ func (cfg Config) withDefaults() Config {
 
 // Cluster is a running replicated system.
 type Cluster struct {
-	cfg      Config
-	fabric   *transport.LocalFabric
+	cfg    Config
+	fabric *transport.LocalFabric
+	// certs holds every certifier node, flat across groups: group g
+	// owns indices [g*Certifiers, (g+1)*Certifiers). The classic
+	// single-group system is simply groups == 1.
 	certs    []*certifier.Server
 	certUp   []bool
+	groups   int
 	replicas []*replica.Replica
 	// pullGates coalesces concurrent WaitVersion catch-up pulls, one
 	// gate per replica: N sessions waiting on the same lagging replica
@@ -123,18 +133,25 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Mode < proxy.Base || cfg.Mode > proxy.TashkentAPI {
 		return nil, fmt.Errorf("cluster: invalid mode %d", cfg.Mode)
 	}
-	c := &Cluster{cfg: cfg, fabric: transport.NewLocalFabric(cfg.NetDelay)}
+	groups := cfg.Partitions
+	if groups < 1 {
+		groups = 1
+	}
+	c := &Cluster{cfg: cfg, groups: groups, fabric: transport.NewLocalFabric(cfg.NetDelay)}
 
-	// Certifier group.
-	for i := 0; i < cfg.Certifiers; i++ {
+	// Certifier tier: one paxos group per partition (one group total in
+	// the classic system). Peer links stay within a group — the groups
+	// are fully independent.
+	for i := 0; i < groups*cfg.Certifiers; i++ {
+		g, k := i/cfg.Certifiers, i%cfg.Certifiers
 		peers := make(map[int]transport.Client)
-		for j := 0; j < cfg.Certifiers; j++ {
-			if j != i {
-				peers[j] = c.fabric.DialFrom(certName(i), certName(j))
+		for kk := 0; kk < cfg.Certifiers; kk++ {
+			if kk != k {
+				peers[kk] = c.fabric.DialFrom(c.certName(i), c.certName(g*cfg.Certifiers+kk))
 			}
 		}
 		srv := certifier.New(certifier.Config{
-			ID:                i,
+			ID:                k,
 			Peers:             peers,
 			Disk:              simdisk.New(cfg.IOProfile, cfg.Seed+int64(i)*7919),
 			DisableDurability: cfg.DisableCertDurability,
@@ -144,8 +161,10 @@ func New(cfg Config) (*Cluster, error) {
 			PaxosCallHook:     c.paxosHookFor(i),
 			ElectionTimeout:   200 * time.Millisecond,
 			Seed:              cfg.Seed + int64(i),
+			Partitioned:       groups > 1,
+			Group:             g,
 		})
-		c.fabric.Serve(certName(i), srv.Handle)
+		c.fabric.Serve(c.certName(i), srv.Handle)
 		c.certs = append(c.certs, srv)
 		c.certUp = append(c.certUp, true)
 	}
@@ -166,6 +185,10 @@ func New(cfg Config) (*Cluster, error) {
 				cfg.SeqObserver(i, epoch, seq, outcome)
 			}
 		}
+		var topo *partition.Topology
+		if groups > 1 {
+			topo = c.newTopology(i)
+		}
 		r := replica.Open(replica.Config{
 			ID:   i + 1,
 			Mode: cfg.Mode,
@@ -174,7 +197,8 @@ func New(cfg Config) (*Cluster, error) {
 				Dedicated: cfg.DedicatedIO,
 				Seed:      cfg.Seed + int64(i)*104729,
 			},
-			Cert:               c.newCertClient(i),
+			Cert:               c.newCertClient(i, 0),
+			Parts:              topo,
 			PageMissEvery:      cfg.PageMissEvery,
 			CheckpointEvery:    cfg.CheckpointEvery,
 			LockTimeout:        cfg.LockTimeout,
@@ -224,24 +248,40 @@ func certName(i int) string { return fmt.Sprintf("certifier-%d", i) }
 
 func replicaName(i int) string { return fmt.Sprintf("replica-%d", i) }
 
+// certName returns node i's fabric identity; partitioned clusters name
+// nodes by (group, member) so fault rules can target one group.
+func (c *Cluster) certName(i int) string {
+	if c.groups <= 1 {
+		return certName(i)
+	}
+	return GroupCertifierName(i/c.cfg.Certifiers, i%c.cfg.Certifiers)
+}
+
+// GroupCertifierName returns the fabric identity of member k of
+// certifier group g in a partitioned cluster (Partitions >= 2).
+func GroupCertifierName(g, k int) string { return fmt.Sprintf("cert-g%d-%d", g, k) }
+
 // paxosHookFor curries the configured certifier-link filter for one
-// node (nil when unconfigured).
-func (c *Cluster) paxosHookFor(id int) func(peer int, method string) error {
+// node (nil when unconfigured). Paxos peer ids are group-local; the
+// hook surfaces flat node indices so one rule vocabulary covers both
+// classic and partitioned clusters.
+func (c *Cluster) paxosHookFor(global int) func(peer int, method string) error {
 	if c.cfg.PaxosCallHook == nil {
 		return nil
 	}
+	base := (global / c.cfg.Certifiers) * c.cfg.Certifiers
 	return func(peer int, method string) error {
-		return c.cfg.PaxosCallHook(id, peer, method)
+		return c.cfg.PaxosCallHook(global, base+peer, method)
 	}
 }
 
-// newCertClient builds a failover client over the whole group for
+// newCertClient builds a failover client over one certifier group for
 // replica i, identified on the fabric so link-level fault injection
 // can cut individual replica→certifier paths.
-func (c *Cluster) newCertClient(i int) *certifier.Client {
-	clients := make([]transport.Client, len(c.certs))
-	for j := range c.certs {
-		clients[j] = c.fabric.DialFrom(replicaName(i), certName(j))
+func (c *Cluster) newCertClient(i, group int) *certifier.Client {
+	clients := make([]transport.Client, c.cfg.Certifiers)
+	for k := 0; k < c.cfg.Certifiers; k++ {
+		clients[k] = c.fabric.DialFrom(replicaName(i), c.certName(group*c.cfg.Certifiers+k))
 	}
 	timeout := c.cfg.CertTimeout
 	if timeout == 0 {
@@ -250,17 +290,31 @@ func (c *Cluster) newCertClient(i int) *certifier.Client {
 	return certifier.NewClient(clients, timeout)
 }
 
+// newTopology builds replica i's partitioned-certification view: the
+// hash map plus one failover client per group.
+func (c *Cluster) newTopology(i int) *partition.Topology {
+	t := &partition.Topology{Map: partition.Map{N: c.groups}}
+	for g := 0; g < c.groups; g++ {
+		t.Groups = append(t.Groups, c.newCertClient(i, g))
+	}
+	return t
+}
+
 func (c *Cluster) waitCertLeader(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		for i, s := range c.certs {
-			if c.certUp[i] && s.IsLeader() {
-				return nil
+		ready := 0
+		for g := 0; g < c.groups; g++ {
+			if c.GroupLeaderIndex(g) >= 0 {
+				ready++
 			}
+		}
+		if ready == c.groups {
+			return nil
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	return errors.New("cluster: no certifier leader elected")
+	return errors.New("cluster: certifier leader election incomplete")
 }
 
 // Mode returns the configured system variant.
@@ -363,21 +417,39 @@ func (c *Cluster) WaitVersion(ctx context.Context, i int, v uint64) error {
 	}
 }
 
-// CertLeader returns the current certifier leader (nil if none).
+// CertLeader returns group 0's current leader (nil if none) — the
+// whole tier's leader in a classic single-group cluster.
 func (c *Cluster) CertLeader() *certifier.Server {
-	for i, s := range c.certs {
-		if c.certUp[i] && s.IsLeader() {
-			return s
-		}
+	return c.GroupLeader(0)
+}
+
+// CertLeaderIndex returns group 0's leader as a flat node index, or -1
+// if that group has no (live) leader.
+func (c *Cluster) CertLeaderIndex() int {
+	return c.GroupLeaderIndex(0)
+}
+
+// Groups returns the certifier group (partition) count.
+func (c *Cluster) Groups() int { return c.groups }
+
+// GroupLeader returns group g's current leader (nil if none).
+func (c *Cluster) GroupLeader(g int) *certifier.Server {
+	if i := c.GroupLeaderIndex(g); i >= 0 {
+		return c.certs[i]
 	}
 	return nil
 }
 
-// CertLeaderIndex returns the current leader's index, or -1 if the
-// group has no (live) leader.
-func (c *Cluster) CertLeaderIndex() int {
-	for i, s := range c.certs {
-		if c.certUp[i] && s.IsLeader() {
+// GroupLeaderIndex returns group g's leader as a flat node index
+// (usable with CrashCertifier/RecoverCertifier), or -1 if the group
+// has no live leader.
+func (c *Cluster) GroupLeaderIndex(g int) int {
+	if g < 0 || g >= c.groups {
+		return -1
+	}
+	for k := 0; k < c.cfg.Certifiers; k++ {
+		i := g*c.cfg.Certifiers + k
+		if c.certUp[i] && c.certs[i].IsLeader() {
 			return i
 		}
 	}
@@ -430,16 +502,17 @@ func (c *Cluster) CrashCertifier(i int) []byte {
 }
 
 // RecoverCertifier restarts certifier node i from a crash image; it
-// rejoins the group and catches up from the leader.
+// rejoins its group and catches up from that group's leader.
 func (c *Cluster) RecoverCertifier(i int, img []byte) error {
+	g, k := i/c.cfg.Certifiers, i%c.cfg.Certifiers
 	peers := make(map[int]transport.Client)
-	for j := range c.certs {
-		if j != i {
-			peers[j] = c.fabric.DialFrom(certName(i), certName(j))
+	for kk := 0; kk < c.cfg.Certifiers; kk++ {
+		if kk != k {
+			peers[kk] = c.fabric.DialFrom(c.certName(i), c.certName(g*c.cfg.Certifiers+kk))
 		}
 	}
 	srv := certifier.New(certifier.Config{
-		ID:                i,
+		ID:                k,
 		Peers:             peers,
 		Disk:              simdisk.New(c.cfg.IOProfile, c.cfg.Seed+int64(i)*7919+1),
 		DisableDurability: c.cfg.DisableCertDurability,
@@ -449,32 +522,51 @@ func (c *Cluster) RecoverCertifier(i int, img []byte) error {
 		PaxosCallHook:     c.paxosHookFor(i),
 		ElectionTimeout:   200 * time.Millisecond,
 		Seed:              c.cfg.Seed + int64(i) + 1000,
+		Partitioned:       c.groups > 1,
+		Group:             g,
 	})
 	if err := srv.RestoreFromImage(img); err != nil {
 		return err
 	}
-	c.fabric.Serve(certName(i), srv.Handle)
+	c.fabric.Serve(c.certName(i), srv.Handle)
 	srv.Start()
 	c.certs[i] = srv
 	c.certUp[i] = true
 	return nil
 }
 
-// Barrier commits a no-op certifier entry and returns the resulting
-// committed index, retrying across leader changes until timeout. After
-// a failover it forces the new leader to finalize the previous term's
-// tail — without it, a quiet group under-reports its committed prefix
-// (acked transactions stay invisible to pulls until the next commit).
+// Barrier commits a no-op certifier entry in every group and returns
+// the highest resulting committed index, retrying across leader
+// changes until timeout. After a failover it forces the new leader to
+// finalize the previous term's tail — without it, a quiet group
+// under-reports its committed prefix (acked transactions stay
+// invisible to pulls until the next commit).
 func (c *Cluster) Barrier(timeout time.Duration) (uint64, error) {
+	var max uint64
+	for g := 0; g < c.groups; g++ {
+		idx, err := c.BarrierGroup(g, timeout)
+		if err != nil {
+			return 0, err
+		}
+		if idx > max {
+			max = idx
+		}
+	}
+	return max, nil
+}
+
+// BarrierGroup commits a no-op entry in group g and returns the
+// resulting committed index.
+func (c *Cluster) BarrierGroup(g int, timeout time.Duration) (uint64, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		if leader := c.CertLeader(); leader != nil {
+		if leader := c.GroupLeader(g); leader != nil {
 			if idx, err := leader.Barrier(); err == nil {
 				return idx, nil
 			}
 		}
 		if time.Now().After(deadline) {
-			return 0, errors.New("cluster: certifier barrier never committed")
+			return 0, fmt.Errorf("cluster: certifier barrier never committed in group %d", g)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -493,6 +585,9 @@ func (c *Cluster) SetAbortRate(r float64) {
 // version and waits for the stores to announce it — used between a
 // measurement and a state comparison.
 func (c *Cluster) ConvergeAll(timeout time.Duration) error {
+	if c.groups > 1 {
+		return c.convergeAllPartitioned(timeout)
+	}
 	leader := c.CertLeader()
 	if leader == nil {
 		return errors.New("cluster: no leader")
@@ -518,6 +613,74 @@ func (c *Cluster) ConvergeAll(timeout time.Duration) error {
 		time.Sleep(2 * time.Millisecond)
 	}
 	return fmt.Errorf("cluster: convergence to version %d timed out", target)
+}
+
+// convergeAllPartitioned drives a quiesced partitioned cluster to one
+// common state: every group's log is padded to the same head H (the
+// deterministic merge can only emit up to the shortest group), each
+// group commits a barrier so failover tails are finalized, and then
+// every replica is pulled until it has announced all groups*H merged
+// versions.
+func (c *Cluster) convergeAllPartitioned(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	// Equalize the group heads; quiesced, so this settles immediately,
+	// but re-check in case a straggling commit landed mid-fill.
+	var target uint64
+	for {
+		var high uint64
+		heads := make([]uint64, c.groups)
+		for g := 0; g < c.groups; g++ {
+			if _, err := c.BarrierGroup(g, timeout); err != nil {
+				return err
+			}
+			leader := c.GroupLeader(g)
+			if leader == nil {
+				return fmt.Errorf("cluster: group %d lost its leader during convergence", g)
+			}
+			heads[g] = leader.Node().CommitIndex()
+			if heads[g] > high {
+				high = heads[g]
+			}
+		}
+		equal := true
+		for g := 0; g < c.groups; g++ {
+			if heads[g] < high {
+				equal = false
+				leader := c.GroupLeader(g)
+				if leader == nil {
+					return fmt.Errorf("cluster: group %d lost its leader during convergence", g)
+				}
+				if _, err := leader.FillTo(high); err != nil {
+					return fmt.Errorf("cluster: filling group %d to %d: %w", g, high, err)
+				}
+			}
+		}
+		if equal {
+			target = uint64(c.groups) * high
+			break
+		}
+		if time.Now().After(deadline) {
+			return errors.New("cluster: group heads never equalized")
+		}
+	}
+
+	for time.Now().Before(deadline) {
+		done := true
+		for _, r := range c.replicas {
+			if r.Store().AnnouncedVersion() < target {
+				done = false
+				if err := r.Proxy().PullOnce(); err != nil {
+					return err
+				}
+			}
+		}
+		if done {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: convergence to merged version %d timed out", target)
 }
 
 // Fingerprints returns each replica's state fingerprint.

@@ -6,6 +6,44 @@ import (
 	"sort"
 )
 
+// EntryKind distinguishes the entry types a partitioned certifier
+// group appends to its log. Single-group deployments only ever use
+// KindData.
+type EntryKind uint8
+
+const (
+	// KindData is a normally certified writeset (or a leader-barrier /
+	// fill no-op when Origin == BarrierOrigin and the writeset is empty).
+	KindData EntryKind = iota
+	// KindPrepare is phase 1 of a cross-partition transaction: this
+	// group's slice of the writeset, conflict-checked and locked but not
+	// yet visible to certification of later transactions via writers.
+	KindPrepare
+	// KindCommitMarker is the commit decision for a prepared
+	// cross-partition transaction: it releases the locks and publishes
+	// the prepared items into the writer index at the marker's version.
+	KindCommitMarker
+	// KindAbortMarker is the abort decision: locks release, nothing is
+	// published.
+	KindAbortMarker
+)
+
+// String names the kind.
+func (k EntryKind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindPrepare:
+		return "prepare"
+	case KindCommitMarker:
+		return "commit-marker"
+	case KindAbortMarker:
+		return "abort-marker"
+	default:
+		return fmt.Sprintf("EntryKind(%d)", uint8(k))
+	}
+}
+
 // LogEntry is one committed update transaction in the certifier's
 // global order: the writeset together with the version its commit
 // created. CertifiedBack records how far back the writeset is known to
@@ -23,6 +61,16 @@ type LogEntry struct {
 	// (v, Version). At normal certification time it equals the
 	// transaction's start version.
 	CertifiedBack Version
+	// Kind tells a partitioned certifier group how to interpret the
+	// entry (data, 2PC prepare, or 2PC decision marker).
+	Kind EntryKind
+	// GID is the cluster-wide transaction id of a cross-partition
+	// transaction; zero for KindData.
+	GID uint64
+	// Involved lists the partition ids participating in a
+	// cross-partition transaction (prepare and marker entries), so
+	// replicas know which groups' parts form the full writeset.
+	Involved []int
 }
 
 // Decision is the outcome of a certification request.
@@ -72,11 +120,39 @@ type Engine struct {
 	// last writer newer than my snapshot?) and the extended
 	// certify-back range queries.
 	writers map[ItemID][]Version
+	// locks maps an item to the gid of the cross-partition transaction
+	// that holds it prepared-but-unresolved. Any certification or
+	// prepare touching a locked item conflicts, whatever its snapshot:
+	// the lock's outcome is undecided, so admitting the competitor
+	// could miss a write-write conflict.
+	locks map[ItemID]uint64
+	// prepared tracks unresolved prepares: gid → the prepare entry's
+	// version and its locked items.
+	prepared map[uint64]preparedTx
+	// resolved memoizes 2PC decisions: gid → the first decision
+	// marker's version and outcome. It makes Resolve idempotent and
+	// rejects a prepare retry that raced its own abort marker.
+	resolved map[uint64]resolution
+}
+
+type preparedTx struct {
+	version Version
+	items   []ItemID
+}
+
+type resolution struct {
+	version Version
+	commit  bool
 }
 
 // NewEngine returns an empty engine at system version 0.
 func NewEngine() *Engine {
-	return &Engine{writers: make(map[ItemID][]Version)}
+	return &Engine{
+		writers:  make(map[ItemID][]Version),
+		locks:    make(map[ItemID]uint64),
+		prepared: make(map[uint64]preparedTx),
+		resolved: make(map[uint64]resolution),
+	}
 }
 
 // SystemVersion returns the version of the latest committed update
@@ -103,7 +179,7 @@ func (e *Engine) Certify(start Version, ws *Writeset, origin int) (Version, Deci
 	if ws.Empty() {
 		panic("core: Certify called with empty writeset (read-only transactions commit locally)")
 	}
-	if e.conflicts(ws, start, e.system) {
+	if e.conflicts(ws, start, e.system) || e.lockConflict(ws) {
 		return 0, Abort
 	}
 	e.system++
@@ -119,7 +195,50 @@ func (e *Engine) Certify(start Version, ws *Writeset, origin int) (Version, Deci
 // between testing and appending) use Conflicts + Append instead of
 // Certify.
 func (e *Engine) Conflicts(start Version, ws *Writeset) bool {
-	return e.conflicts(ws, start, e.system)
+	return e.conflicts(ws, start, e.system) || e.lockConflict(ws)
+}
+
+// lockConflict reports whether ws touches an item held by an
+// unresolved cross-partition prepare.
+func (e *Engine) lockConflict(ws *Writeset) bool {
+	if len(e.locks) == 0 {
+		return false
+	}
+	for i := range ws.Ops {
+		if _, held := e.locks[ws.Ops[i].Item()]; held {
+			return true
+		}
+	}
+	return false
+}
+
+// PreparedAt returns the version of gid's unresolved prepare entry in
+// this group, if one exists. The certifier uses it to make Prepare
+// idempotent across leader retries.
+func (e *Engine) PreparedAt(gid uint64) (Version, bool) {
+	p, ok := e.prepared[gid]
+	return p.version, ok
+}
+
+// Resolution returns the first decision marker recorded for gid: its
+// version and whether it committed.
+func (e *Engine) Resolution(gid uint64) (v Version, commit, ok bool) {
+	r, found := e.resolved[gid]
+	return r.version, r.commit, found
+}
+
+// OldestPrepared returns the lowest version among unresolved prepare
+// entries, or 0 if none are pending. Truncation must not cross it:
+// the prepare's writeset is the only record of what its decision
+// marker will publish.
+func (e *Engine) OldestPrepared() Version {
+	var oldest Version
+	for _, p := range e.prepared {
+		if oldest == 0 || p.version < oldest {
+			oldest = p.version
+		}
+	}
+	return oldest
 }
 
 // BarrierOrigin is the origin id of leader-barrier no-op entries
@@ -128,17 +247,33 @@ const BarrierOrigin = 0
 
 // Append installs an already-certified entry at the next version. The
 // entry's version must be exactly SystemVersion()+1. An empty writeset
-// is permitted only for barrier entries (Origin == BarrierOrigin): a
-// leader barrier commits a no-op to finalize a previous term's tail,
-// consuming a version that conflicts with nothing. For any real
-// origin an empty writeset still indicates corruption or a misencoded
-// certification and is rejected loudly.
+// is permitted only for barrier entries (Origin == BarrierOrigin) and
+// 2PC decision markers: a leader barrier commits a no-op to finalize a
+// previous term's tail, consuming a version that conflicts with
+// nothing. For any real origin an empty data writeset still indicates
+// corruption or a misencoded certification and is rejected loudly.
 func (e *Engine) Append(entry LogEntry) error {
 	if entry.Version != e.system+1 {
 		return fmt.Errorf("core: append version %d, want %d", entry.Version, e.system+1)
 	}
-	if entry.WS.Empty() && entry.Origin != BarrierOrigin {
-		return fmt.Errorf("core: append of empty writeset at version %d (origin %d)", entry.Version, entry.Origin)
+	switch entry.Kind {
+	case KindData:
+		if entry.WS.Empty() && entry.Origin != BarrierOrigin {
+			return fmt.Errorf("core: append of empty writeset at version %d (origin %d)", entry.Version, entry.Origin)
+		}
+	case KindPrepare:
+		if entry.WS.Empty() {
+			return fmt.Errorf("core: prepare with empty writeset at version %d (gid %d)", entry.Version, entry.GID)
+		}
+		if _, dup := e.prepared[entry.GID]; dup {
+			return fmt.Errorf("core: duplicate prepare for gid %d at version %d", entry.GID, entry.Version)
+		}
+	case KindCommitMarker, KindAbortMarker:
+		// Always legal: a marker for an unknown gid (prepare refused
+		// here, or a duplicate decision from a coordinator retry)
+		// consumes a version and publishes nothing.
+	default:
+		return fmt.Errorf("core: append of unknown entry kind %d at version %d", entry.Kind, entry.Version)
 	}
 	e.system = entry.Version
 	e.append(entry)
@@ -166,10 +301,63 @@ func (e *Engine) conflicts(ws *Writeset, lo, hi Version) bool {
 }
 
 func (e *Engine) append(entry LogEntry) {
-	e.log = append(e.log, entry)
-	for _, id := range entry.WS.Items() {
-		e.writers[id] = append(e.writers[id], entry.Version)
+	switch entry.Kind {
+	case KindPrepare:
+		// The part is logged but stays out of the writer index: it
+		// conflicts with later transactions through the lock map until
+		// its decision marker resolves it.
+		items := entry.WS.Items()
+		for _, id := range items {
+			e.locks[id] = entry.GID
+		}
+		e.prepared[entry.GID] = preparedTx{version: entry.Version, items: items}
+	case KindCommitMarker:
+		if p, ok := e.prepared[entry.GID]; ok {
+			// Publish the prepared items at the marker's own version:
+			// a transaction whose snapshot predates the marker now
+			// conflicts with the cross-partition commit, even though
+			// its snapshot may postdate the prepare.
+			prep, err := e.Entry(p.version)
+			if err == nil {
+				entry.WS = prep.WS
+			}
+			for _, id := range p.items {
+				e.writers[id] = append(e.writers[id], entry.Version)
+				if e.locks[id] == entry.GID {
+					delete(e.locks, id)
+				}
+			}
+			delete(e.prepared, entry.GID)
+		} else if !entry.WS.Empty() {
+			// Restore from a snapshot whose marker already carries the
+			// synthesized writeset.
+			for _, id := range entry.WS.Items() {
+				e.writers[id] = append(e.writers[id], entry.Version)
+			}
+		}
+		if _, seen := e.resolved[entry.GID]; !seen {
+			e.resolved[entry.GID] = resolution{version: entry.Version, commit: true}
+		}
+		e.log = append(e.log, entry)
+		return
+	case KindAbortMarker:
+		if p, ok := e.prepared[entry.GID]; ok {
+			for _, id := range p.items {
+				if e.locks[id] == entry.GID {
+					delete(e.locks, id)
+				}
+			}
+			delete(e.prepared, entry.GID)
+		}
+		if _, seen := e.resolved[entry.GID]; !seen {
+			e.resolved[entry.GID] = resolution{version: entry.Version, commit: false}
+		}
+	default:
+		for _, id := range entry.WS.Items() {
+			e.writers[id] = append(e.writers[id], entry.Version)
+		}
 	}
+	e.log = append(e.log, entry)
 }
 
 // entryIndex converts a version to an index into e.log, or -1 if the
@@ -257,6 +445,11 @@ func (e *Engine) Truncate(below Version) error {
 	if below > e.system {
 		return fmt.Errorf("core: truncate(%d) beyond system version %d", below, e.system)
 	}
+	// Never collect an unresolved prepare: its writeset is the only
+	// record of what the decision marker will publish.
+	if oldest := e.OldestPrepared(); oldest != 0 && below >= oldest {
+		below = oldest - 1
+	}
 	if below <= e.trunc {
 		return nil
 	}
@@ -288,6 +481,9 @@ func (e *Engine) Restore(trunc Version, entries []LogEntry) error {
 	e.trunc = trunc
 	e.system = trunc
 	e.writers = make(map[ItemID][]Version)
+	e.locks = make(map[ItemID]uint64)
+	e.prepared = make(map[uint64]preparedTx)
+	e.resolved = make(map[uint64]resolution)
 	for i := range entries {
 		want := trunc + Version(i) + 1
 		if entries[i].Version != want {

@@ -14,6 +14,7 @@ import (
 	"tashkent/internal/chaos"
 	"tashkent/internal/cluster"
 	"tashkent/internal/mvstore"
+	"tashkent/internal/partition"
 	"tashkent/internal/proxy"
 	"tashkent/internal/simdisk"
 	"tashkent/internal/workload"
@@ -41,7 +42,7 @@ const (
 type faultEvent struct {
 	At   time.Duration
 	Dur  time.Duration
-	Kind string // "cut" | "partition-cert" | "crash-replica" | "crash-certifier" | "dump"
+	Kind string // "cut" | "partition-cert" | "crash-replica" | "crash-certifier" | "crash-group-leader" | "dump"
 	Node int
 	From string
 	To   string
@@ -49,27 +50,42 @@ type faultEvent struct {
 
 // chaosPlan is everything a seed determines up front.
 type chaosPlan struct {
-	seed   int64
-	mode   proxy.Mode
-	rules  chaos.Rules
-	window time.Duration
-	events []faultEvent
-	links  []string
+	seed       int64
+	mode       proxy.Mode
+	partitions int // certifier groups (1 = classic single-group system)
+	rules      chaos.Rules
+	window     time.Duration
+	events     []faultEvent
+	links      []string
+}
+
+// certNodeName names flat certifier node i under the plan's topology.
+func certNodeName(partitions, i int) string {
+	if partitions <= 1 {
+		return cluster.CertifierName(i)
+	}
+	return cluster.GroupCertifierName(i/chaosCertifiers, i%chaosCertifiers)
 }
 
 // chaosLinks enumerates every fabric link of the cluster topology.
-func chaosLinks() []string {
+// Partitioned topologies have no certifier links across groups — the
+// groups are independent paxos clusters.
+func chaosLinks(partitions int) []string {
+	if partitions < 1 {
+		partitions = 1
+	}
+	nodes := partitions * chaosCertifiers
 	var out []string
-	for i := 0; i < chaosCertifiers; i++ {
-		for j := 0; j < chaosCertifiers; j++ {
-			if i != j {
-				out = append(out, cluster.CertifierName(i)+"→"+cluster.CertifierName(j))
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < nodes; j++ {
+			if i != j && i/chaosCertifiers == j/chaosCertifiers {
+				out = append(out, certNodeName(partitions, i)+"→"+certNodeName(partitions, j))
 			}
 		}
 	}
 	for r := 0; r < chaosReplicas; r++ {
-		for i := 0; i < chaosCertifiers; i++ {
-			out = append(out, cluster.ReplicaName(r)+"→"+cluster.CertifierName(i))
+		for i := 0; i < nodes; i++ {
+			out = append(out, cluster.ReplicaName(r)+"→"+certNodeName(partitions, i))
 		}
 	}
 	return out
@@ -81,11 +97,18 @@ func chaosLinks() []string {
 func buildChaosPlan(seed int64, window time.Duration) chaosPlan {
 	rng := rand.New(rand.NewSource(seed ^ 0xC4A05))
 	modes := []proxy.Mode{proxy.TashkentMW, proxy.TashkentAPI, proxy.Base}
+	// Half the seeds run partitioned certification (2 or 4 groups); the
+	// rest keep the classic single-group system under fire.
+	partitions := 1
+	if rng.Intn(2) == 1 {
+		partitions = []int{2, 4}[rng.Intn(2)]
+	}
 	p := chaosPlan{
-		seed:   seed,
-		mode:   modes[rng.Intn(len(modes))],
-		window: window,
-		links:  chaosLinks(),
+		seed:       seed,
+		mode:       modes[rng.Intn(len(modes))],
+		partitions: partitions,
+		window:     window,
+		links:      chaosLinks(partitions),
 		rules: chaos.Rules{
 			DropProb:     0.01 + 0.03*rng.Float64(),
 			DropRespProb: 0.01 + 0.02*rng.Float64(),
@@ -94,6 +117,7 @@ func buildChaosPlan(seed int64, window time.Duration) chaosPlan {
 			MaxDelay:     time.Duration(1+rng.Intn(4)) * time.Millisecond,
 		},
 	}
+	nodes := partitions * chaosCertifiers
 	at := func(loFrac, hiFrac float64) time.Duration {
 		lo, hi := float64(window)*loFrac, float64(window)*hiFrac
 		return time.Duration(lo + rng.Float64()*(hi-lo))
@@ -105,26 +129,40 @@ func buildChaosPlan(seed int64, window time.Duration) chaosPlan {
 	// Mandatory coverage per seed: one replica crash-restart, one
 	// certifier crash-restart, one certifier partition, one asymmetric
 	// replica→certifier cut. Crash windows are placed apart so at most
-	// one certifier is ever down (the group needs its majority).
+	// one certifier is ever down (a group needs its majority).
+	// Partitioned plans crash a *group leader* picked at run time — the
+	// schedule fixes which group loses its leader, the cluster decides
+	// who that is.
+	if partitions > 1 {
+		p.events = append(p.events,
+			faultEvent{At: at(0.10, 0.30), Dur: dur(), Kind: "crash-group-leader", Node: rng.Intn(partitions)})
+	} else {
+		p.events = append(p.events,
+			faultEvent{At: at(0.10, 0.30), Dur: dur(), Kind: "crash-certifier", Node: rng.Intn(nodes)})
+	}
 	p.events = append(p.events,
-		faultEvent{At: at(0.10, 0.30), Dur: dur(), Kind: "crash-certifier", Node: rng.Intn(chaosCertifiers)},
 		faultEvent{At: at(0.55, 0.75), Dur: dur(), Kind: "crash-replica", Node: rng.Intn(chaosReplicas)},
-		faultEvent{At: at(0.20, 0.60), Dur: dur(), Kind: "partition-cert", Node: rng.Intn(chaosCertifiers)},
+		faultEvent{At: at(0.20, 0.60), Dur: dur(), Kind: "partition-cert", Node: rng.Intn(nodes)},
 		faultEvent{
 			At: at(0.20, 0.60), Dur: dur(), Kind: "cut",
 			From: cluster.ReplicaName(rng.Intn(chaosReplicas)),
-			To:   cluster.CertifierName(rng.Intn(chaosCertifiers)),
+			To:   certNodeName(partitions, rng.Intn(nodes)),
 		},
 		faultEvent{At: at(0.30, 0.50), Kind: "dump", Node: rng.Intn(chaosReplicas)},
 	)
-	// A few extra random cuts for asymmetry variety.
+	// A few extra random cuts for asymmetry variety (within a group —
+	// cross-group certifier links do not exist).
 	for n := rng.Intn(3); n > 0; n-- {
-		from := cluster.CertifierName(rng.Intn(chaosCertifiers))
-		to := cluster.CertifierName(rng.Intn(chaosCertifiers))
+		g := rng.Intn(partitions)
+		from := g*chaosCertifiers + rng.Intn(chaosCertifiers)
+		to := g*chaosCertifiers + rng.Intn(chaosCertifiers)
 		if from == to {
 			continue
 		}
-		p.events = append(p.events, faultEvent{At: at(0.10, 0.70), Dur: dur(), Kind: "cut", From: from, To: to})
+		p.events = append(p.events, faultEvent{
+			At: at(0.10, 0.70), Dur: dur(), Kind: "cut",
+			From: certNodeName(partitions, from), To: certNodeName(partitions, to),
+		})
 	}
 	sort.Slice(p.events, func(i, j int) bool { return p.events[i].At < p.events[j].At })
 	return p
@@ -135,7 +173,7 @@ func buildChaosPlan(seed int64, window time.Duration) chaosPlan {
 // runs of the same seed.
 func (p chaosPlan) Digest() uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "mode=%d window=%d rules=%+v\n", p.mode, p.window, p.rules)
+	fmt.Fprintf(h, "mode=%d parts=%d window=%d rules=%+v\n", p.mode, p.partitions, p.window, p.rules)
 	for _, e := range p.events {
 		fmt.Fprintf(h, "%d %s n%d %s->%s %d\n", e.At, e.Kind, e.Node, e.From, e.To, e.Dur)
 	}
@@ -148,6 +186,7 @@ func (p chaosPlan) Digest() uint64 {
 type ChaosResult struct {
 	Seed       int64
 	Mode       proxy.Mode
+	Partitions int
 	Digest     uint64
 	Acked      int
 	Aborted    int
@@ -182,13 +221,14 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 	o = o.withDefaults()
 	seed := plan.seed
 	window := plan.window
-	res := ChaosResult{Seed: seed, Mode: plan.mode, Digest: plan.Digest()}
+	res := ChaosResult{Seed: seed, Mode: plan.mode, Partitions: plan.partitions, Digest: plan.Digest()}
 
 	checker := chaos.NewChecker()
 	c, err := cluster.New(cluster.Config{
 		Mode:       plan.mode,
 		Replicas:   chaosReplicas,
 		Certifiers: chaosCertifiers,
+		Partitions: plan.partitions,
 		IOProfile: simdisk.Profile{
 			FsyncLatency: 200 * time.Microsecond,
 			FsyncJitter:  100 * time.Microsecond,
@@ -248,16 +288,39 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 				}
 				n++
 				val := fmt.Sprintf("w%d-%d", w, n)
-				if err := tx.Update(chaosTable, key, map[string][]byte{chaosCol: []byte(val)}); err != nil {
-					tx.Abort()
+				keys := []string{key}
+				if plan.partitions > 1 && rng.Float64() < 0.25 {
+					// Multi-key update: with multiple keys the writeset
+					// usually spans partitions, exercising the prepare/
+					// resolve path under fire.
+					k2 := fmt.Sprintf("k%02d", rng.Intn(chaosKeys))
+					if k2 != key {
+						keys = append(keys, k2)
+					}
+				}
+				abortedWrite := false
+				for _, k := range keys {
+					if err := tx.Update(chaosTable, k, map[string][]byte{chaosCol: []byte(val)}); err != nil {
+						tx.Abort()
+						abortedWrite = true
+						break
+					}
+				}
+				if abortedWrite {
 					continue
 				}
 				switch err := tx.Commit(); {
 				case err == nil:
-					checker.RecordAck(chaos.Ack{
-						Worker: w, Origin: origin, Version: tx.CommitVersion(),
-						Table: chaosTable, Key: key, Col: chaosCol, Value: val,
-					})
+					for ki, k := range keys {
+						// Every key of a multi-key commit is durably in the
+						// log at the same merged version; give extra keys a
+						// synthetic worker id so the per-worker version-
+						// monotonicity check isn't tripped by duplicates.
+						checker.RecordAck(chaos.Ack{
+							Worker: w + ki*1000, Origin: origin, Version: tx.CommitVersion(),
+							Table: chaosTable, Key: k, Col: chaosCol, Value: val,
+						})
+					}
 					mu.Lock()
 					acked++
 					mu.Unlock()
@@ -295,13 +358,16 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 				inj.HealLink(ev.From, ev.To)
 			})
 		case "partition-cert":
+			// Isolate the node from its own group's peers (the only
+			// certifier links that exist).
+			base := (ev.Node / chaosCertifiers) * chaosCertifiers
 			var peers []string
-			for i := 0; i < chaosCertifiers; i++ {
-				if i != ev.Node {
-					peers = append(peers, cluster.CertifierName(i))
+			for k := 0; k < chaosCertifiers; k++ {
+				if i := base + k; i != ev.Node {
+					peers = append(peers, certNodeName(plan.partitions, i))
 				}
 			}
-			me := cluster.CertifierName(ev.Node)
+			me := certNodeName(plan.partitions, ev.Node)
 			inj.Isolate(me, peers...)
 			drills.Add(1)
 			time.AfterFunc(ev.Dur, func() {
@@ -321,19 +387,27 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 					return err == nil
 				})
 			})
-		case "crash-certifier":
+		case "crash-certifier", "crash-group-leader":
+			node := ev.Node
+			if ev.Kind == "crash-group-leader" {
+				// The plan fixes which group loses its leader; the
+				// cluster's current election decides who that is.
+				if node = c.GroupLeaderIndex(ev.Node); node < 0 {
+					continue // mid-election; skip rather than stall the plan
+				}
+			}
 			select {
 			case certDown <- struct{}{}:
 			default:
 				continue // another certifier is still down; keep the majority
 			}
-			img := c.CrashCertifier(ev.Node)
+			img := c.CrashCertifier(node)
 			drills.Add(1)
 			time.AfterFunc(ev.Dur, func() {
 				defer drills.Done()
 				defer func() { <-certDown }()
 				chaos.WaitUntil(10*time.Second, func() bool {
-					return c.RecoverCertifier(ev.Node, img) == nil
+					return c.RecoverCertifier(node, img) == nil
 				})
 			})
 		case "dump":
@@ -358,8 +432,15 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 	mu.Unlock()
 	res.Reads = checker.Reads()
 
-	if !chaos.WaitUntil(10*time.Second, func() bool { return c.CertLeader() != nil }) {
-		return res, fmt.Errorf("chaos seed %d: no certifier leader after healing", seed)
+	if !chaos.WaitUntil(10*time.Second, func() bool {
+		for g := 0; g < c.Groups(); g++ {
+			if c.GroupLeader(g) == nil {
+				return false
+			}
+		}
+		return true
+	}) {
+		return res, fmt.Errorf("chaos seed %d: not every certifier group elected a leader after healing", seed)
 	}
 	// Finalize the tail: a post-failover leader cannot commit the
 	// previous term's entries until one of its own commits, so a quiet
@@ -384,7 +465,7 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 		return true
 	})
 	if !agreed && os.Getenv("CHAOS_DIFF") != "" {
-		if log, err := committedLog(c.CertLeader()); err == nil {
+		if log, err := groundTruthLog(c); err == nil {
 			for r := 0; r < c.Replicas(); r++ {
 				fmt.Printf("STATE r%d announced=%d rv=%d stats=%+v\n",
 					r, c.Replica(r).Store().AnnouncedVersion(), c.Replica(r).Proxy().ReplicaVersion(),
@@ -394,7 +475,7 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 		}
 	}
 
-	log, err := committedLog(c.CertLeader())
+	log, err := groundTruthLog(c)
 	if err != nil {
 		return res, fmt.Errorf("chaos seed %d: reading committed log: %w", seed, err)
 	}
@@ -462,6 +543,62 @@ func dumpChaosDiff(c *cluster.Cluster, log []chaos.LogEntry) {
 	}
 }
 
+// groundTruthLog builds the checker's ground truth: the single
+// certifier log in classic mode, or the deterministic merge of every
+// group's log in partitioned mode.
+func groundTruthLog(c *cluster.Cluster) ([]chaos.LogEntry, error) {
+	if c.Groups() <= 1 {
+		return committedLog(c.CertLeader())
+	}
+	return mergedCommittedLogs(c)
+}
+
+// mergedCommittedLogs rebuilds the merged apply order from the N group
+// leaders' committed logs, exactly as a replica's assembler would —
+// the ground truth of a partitioned run. Versions are merged versions;
+// entries that install nothing (fills, prepares, markers past the
+// first) are omitted, so the version sequence has gaps the checker
+// tolerates.
+func mergedCommittedLogs(c *cluster.Cluster) ([]chaos.LogEntry, error) {
+	asm := partition.NewAssembler(c.Groups())
+	total := 0
+	for g := 0; g < c.Groups(); g++ {
+		leader := c.GroupLeader(g)
+		if leader == nil {
+			return nil, fmt.Errorf("group %d has no leader", g)
+		}
+		commit := leader.Node().CommitIndex()
+		_, _, entries := leader.Node().SnapshotLog()
+		if uint64(len(entries)) < commit {
+			return nil, fmt.Errorf("group %d log %d shorter than commit index %d", g, len(entries), commit)
+		}
+		for _, e := range entries[:commit] {
+			if err := asm.Offer(g, e.Index, e.Data); err != nil {
+				return nil, fmt.Errorf("group %d entry %d: %w", g, e.Index, err)
+			}
+		}
+		total += int(commit)
+	}
+	out := make([]chaos.LogEntry, 0, total)
+	emitted := 0
+	for {
+		act, ok := asm.Next()
+		if !ok {
+			break
+		}
+		emitted++
+		if act.WS != nil {
+			out = append(out, chaos.LogEntry{Version: act.MV, Origin: act.Origin, WS: act.WS})
+		}
+	}
+	if emitted < total {
+		g, idx := asm.Blocking()
+		return nil, fmt.Errorf("merge stalled at %d of %d entries, waiting for group %d index %d (group heads unequal?)",
+			emitted, total, g, idx)
+	}
+	return out, nil
+}
+
 // committedLog decodes the leader's committed log prefix into checker
 // ground truth.
 func committedLog(leader *certifier.Server) ([]chaos.LogEntry, error) {
@@ -475,11 +612,11 @@ func committedLog(leader *certifier.Server) ([]chaos.LogEntry, error) {
 	}
 	out := make([]chaos.LogEntry, 0, commit)
 	for _, e := range entries[:commit] {
-		origin, _, ws, err := certifier.DecodeLogEntry(e.Data)
+		ent, err := certifier.DecodeLogEntry(e.Data)
 		if err != nil {
 			return nil, fmt.Errorf("entry %d: %w", e.Index, err)
 		}
-		out = append(out, chaos.LogEntry{Version: e.Index, Origin: origin, WS: ws})
+		out = append(out, chaos.LogEntry{Version: e.Index, Origin: ent.Origin, WS: ent.WS})
 	}
 	return out, nil
 }
@@ -514,7 +651,7 @@ func replayFingerprint(log []chaos.LogEntry) (uint32, error) {
 func RunChaosExperiment(seeds []int64, o Options) ([]ChaosResult, error) {
 	o = o.withDefaults()
 	fmt.Fprintf(o.Out, "\n=== chaos: seeded fault-injection + invariant check ===\n")
-	fmt.Fprintf(o.Out, "seed\tmode\tdigest\tacked\taborted\tunknown\treads\tlog\tdrops\tdups\tdelays\tcuts\tverdict\n")
+	fmt.Fprintf(o.Out, "seed\tmode\tparts\tdigest\tacked\taborted\tunknown\treads\tlog\tdrops\tdups\tdelays\tcuts\tverdict\n")
 	var results []ChaosResult
 	var failing []int64
 	for _, seed := range seeds {
@@ -528,8 +665,8 @@ func RunChaosExperiment(seeds []int64, o Options) ([]ChaosResult, error) {
 			verdict = "FAIL"
 			failing = append(failing, seed)
 		}
-		fmt.Fprintf(o.Out, "%d\t%s\t%016x\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
-			res.Seed, res.Mode, res.Digest, res.Acked, res.Aborted, res.Unknown, res.Reads,
+		fmt.Fprintf(o.Out, "%d\t%s\t%d\t%016x\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			res.Seed, res.Mode, res.Partitions, res.Digest, res.Acked, res.Aborted, res.Unknown, res.Reads,
 			res.LogEntries, res.Faults.DroppedReqs+res.Faults.DroppedResps,
 			res.Faults.Duplicated, res.Faults.Delayed, res.Faults.CutDrops, verdict)
 		for _, v := range res.Violations {

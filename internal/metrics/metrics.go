@@ -303,6 +303,64 @@ func (s DistSummary) String() string {
 		s.Count, s.Mean, s.P50, s.P99, s.Max)
 }
 
+// MergeDist combines per-group digests of one statistic — e.g. the
+// certification pipeline batch sizes of a partitioned deployment's
+// certifier groups — into a single roll-up. Count, Sum and Max merge
+// exactly and Mean is recomputed from the merged totals; P50/P99 are
+// conservative upper bounds (the largest per-group value at that
+// rank), since a digest no longer carries bucket detail.
+func MergeDist(parts ...DistSummary) DistSummary {
+	var out DistSummary
+	for _, p := range parts {
+		out.Count += p.Count
+		out.Sum += p.Sum
+		if p.Max > out.Max {
+			out.Max = p.Max
+		}
+		if p.P50 > out.P50 {
+			out.P50 = p.P50
+		}
+		if p.P99 > out.P99 {
+			out.P99 = p.P99
+		}
+	}
+	if out.Count > 0 {
+		out.Mean = float64(out.Sum) / float64(out.Count)
+	}
+	return out
+}
+
+// UtilSummary aggregates utilization fractions across parallel
+// channels — e.g. the per-group certifier log disks of a partitioned
+// deployment, where the mean shows how the load spread and the max
+// which channel is closest to saturation.
+type UtilSummary struct {
+	Per       []float64
+	Mean, Max float64
+}
+
+// SummarizeUtil rolls up per-channel utilizations.
+func SummarizeUtil(per []float64) UtilSummary {
+	s := UtilSummary{Per: per}
+	if len(per) == 0 {
+		return s
+	}
+	var sum float64
+	for _, u := range per {
+		sum += u
+		if u > s.Max {
+			s.Max = u
+		}
+	}
+	s.Mean = sum / float64(len(per))
+	return s
+}
+
+// String renders the roll-up compactly.
+func (s UtilSummary) String() string {
+	return fmt.Sprintf("mean=%.0f%% max=%.0f%%", s.Mean*100, s.Max*100)
+}
+
 // Counter is a concurrent event counter.
 type Counter struct {
 	mu sync.Mutex

@@ -206,3 +206,49 @@ func TestInterval(t *testing.T) {
 	}
 	iv.Stop()
 }
+
+func TestMergeDist(t *testing.T) {
+	var a, b Distribution
+	for i := int64(1); i <= 10; i++ {
+		a.Observe(i)
+	}
+	for i := int64(20); i <= 24; i++ {
+		b.Observe(i)
+	}
+	m := MergeDist(a.Summarize(), b.Summarize())
+	if m.Count != 15 {
+		t.Errorf("Count = %d, want 15", m.Count)
+	}
+	if want := a.Sum() + b.Sum(); m.Sum != want {
+		t.Errorf("Sum = %d, want %d", m.Sum, want)
+	}
+	if m.Max != 24 {
+		t.Errorf("Max = %d, want 24", m.Max)
+	}
+	if want := float64(m.Sum) / 15; m.Mean != want {
+		t.Errorf("Mean = %v, want %v", m.Mean, want)
+	}
+	// Percentiles are conservative: at least the per-group values.
+	if m.P99 < b.Summarize().P99 {
+		t.Errorf("P99 = %d below a merged part's P99 %d", m.P99, b.Summarize().P99)
+	}
+	if empty := MergeDist(); empty.Count != 0 || empty.Mean != 0 {
+		t.Errorf("MergeDist() = %+v, want zero", empty)
+	}
+}
+
+func TestSummarizeUtil(t *testing.T) {
+	s := SummarizeUtil([]float64{0.2, 0.4, 0.9})
+	if s.Max != 0.9 {
+		t.Errorf("Max = %v, want 0.9", s.Max)
+	}
+	if want := (0.2 + 0.4 + 0.9) / 3; s.Mean != want {
+		t.Errorf("Mean = %v, want %v", s.Mean, want)
+	}
+	if len(s.Per) != 3 {
+		t.Errorf("Per = %v, want 3 entries", s.Per)
+	}
+	if z := SummarizeUtil(nil); z.Mean != 0 || z.Max != 0 {
+		t.Errorf("SummarizeUtil(nil) = %+v, want zero", z)
+	}
+}

@@ -1,0 +1,76 @@
+// Package partition implements partitioned certification: the
+// keyspace is sharded across N independent certifier groups by a
+// consistent hash of the item id, so certification throughput scales
+// with the number of groups instead of being bounded by one paxos
+// log and one conflict-check loop.
+//
+// A transaction whose writeset falls entirely in one partition
+// certifies against that group alone (the fast path — one round, one
+// group fsync). A cross-partition transaction runs a two-phase
+// protocol: phase 1 appends a durable *prepare* entry (this group's
+// slice of the writeset, conflict-checked and locked) in each involved
+// group in ascending partition order; phase 2 appends a *decision
+// marker* (commit or abort) in each group. Replicas rebuild one total
+// apply order by deterministically interleaving the per-group logs
+// (see Assembler), so every replica announces the same merged version
+// for the same entry without any cross-group coordination.
+package partition
+
+import (
+	"hash/fnv"
+
+	"tashkent/internal/core"
+)
+
+// Map assigns items to partitions by FNV-1a hash. The zero value (N
+// <= 1) maps everything to partition 0.
+type Map struct {
+	// N is the partition (certifier group) count.
+	N int
+}
+
+// Of returns the partition owning the item.
+func (m Map) Of(id core.ItemID) int {
+	if m.N <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id.Table))
+	h.Write([]byte{0})
+	h.Write([]byte(id.Key))
+	return int(h.Sum32() % uint32(m.N))
+}
+
+// Part is one partition's slice of a writeset.
+type Part struct {
+	PID int
+	WS  *core.Writeset
+}
+
+// Split slices a writeset by partition, returned in ascending
+// partition order — the canonical order in which cross-partition
+// transactions prepare (a fixed lock order makes distributed deadlock
+// impossible).
+func (m Map) Split(ws *core.Writeset) []Part {
+	if m.N <= 1 {
+		return []Part{{PID: 0, WS: ws}}
+	}
+	byPID := make(map[int]*core.Writeset)
+	for i := range ws.Ops {
+		op := ws.Ops[i]
+		pid := m.Of(op.Item())
+		p := byPID[pid]
+		if p == nil {
+			p = &core.Writeset{}
+			byPID[pid] = p
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	parts := make([]Part, 0, len(byPID))
+	for pid := 0; pid < m.N; pid++ {
+		if p, ok := byPID[pid]; ok {
+			parts = append(parts, Part{PID: pid, WS: p})
+		}
+	}
+	return parts
+}

@@ -632,6 +632,9 @@ func (p *Proxy) handleSeqFailure(cause error, gen, seq uint64) {
 // resync runs) are skipped by the store's labeled-commit gate, so
 // overlapping with in-flight appliers is safe.
 func (p *Proxy) Resync() error {
+	if p.part != nil {
+		return p.resyncPartitioned()
+	}
 	p.addStat(func(st *Stats) { st.Resyncs++ })
 	basis := p.cfg.Store.AnnouncedVersion()
 	resp, err := p.cfg.Cert.Pull(certifier.PullRequest{

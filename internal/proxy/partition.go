@@ -1,0 +1,776 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tashkent/internal/certifier"
+	"tashkent/internal/core"
+	"tashkent/internal/mvstore"
+	"tashkent/internal/partition"
+)
+
+// Partitioned certification (see internal/partition): the proxy talks
+// to N certifier groups instead of one. Commits route by partition —
+// a single-partition writeset certifies in one round against its
+// group; a cross-partition writeset runs the prepare/resolve protocol
+// across its groups. All application goes through one merger
+// goroutine that interleaves the per-group committed streams into the
+// deterministic merged order and is the replica's only announcer, so
+// every replica installs the same state at the same merged version.
+//
+// The per-replica response sequencer, local certification and the
+// safe-back machinery are not used in partitioned mode: entries are
+// addressed by (group, index), the assembler deduplicates and orders
+// them, and application is serial in merged order.
+
+// waitKey addresses a single-partition own commit: the entry's group
+// and log index.
+type waitKey struct {
+	g   int
+	idx uint64
+}
+
+// ownDone is the merger's notification to a waiting own commit.
+type ownDone struct {
+	mv        uint64
+	viaHandle bool // committed through the waiting tx handle
+}
+
+// ownWait is a committing client transaction waiting for its entry's
+// merged apply position.
+type ownWait struct {
+	tx *mvstore.Tx
+	ws *core.Writeset
+	ch chan ownDone
+}
+
+// partState is the proxy's partitioned-mode machinery.
+type partState struct {
+	topo *partition.Topology
+
+	mu            sync.Mutex
+	asm           *partition.Assembler
+	vector        []uint64 // per-group applied counts, updated after announce
+	mergedApplied uint64
+	waiters       map[waitKey]*ownWait
+	gidWaiters    map[uint64]*ownWait
+	// doneIdx/doneGid record own entries the merger applied before the
+	// commit path could register a waiter (response raced the stream).
+	doneIdx map[waitKey]uint64
+	doneGid map[uint64]uint64
+
+	wake chan struct{} // nudges the merger after new offers
+}
+
+// gidCounter is process-wide so simulated crash/recovery cycles never
+// reuse a global transaction id (a reused gid would collide with its
+// predecessor's decision markers in the certifier groups).
+var gidCounter atomic.Uint64
+
+// mergeStallNudge is how long the merger waits on a blocked stream
+// before pulling it. Whether a short group is padded with fill no-ops
+// is decided by the group itself: its pull response says whether
+// certifications are in flight (entries imminent — never pad) or the
+// group is idle (pad immediately; an idle partition must not stall
+// the merge). mergeFillPatience is the fallback for a group that
+// reports busy without committing anything for that long — under
+// fault injection an in-flight request can linger for seconds on
+// retries, and the merge must not wait it out.
+const (
+	mergeStallNudge   = 2 * time.Millisecond
+	mergeFillPatience = 25 * time.Millisecond
+)
+
+func newPartState(topo *partition.Topology) *partState {
+	n := len(topo.Groups)
+	return &partState{
+		topo:       topo,
+		asm:        partition.NewAssembler(n),
+		vector:     make([]uint64, n),
+		waiters:    make(map[waitKey]*ownWait),
+		gidWaiters: make(map[uint64]*ownWait),
+		doneIdx:    make(map[waitKey]uint64),
+		doneGid:    make(map[uint64]uint64),
+		wake:       make(chan struct{}, 1),
+	}
+}
+
+// startVec samples the per-group start versions for a new snapshot.
+// The vector is updated only after a merged version is announced, so
+// the sample taken before Store.Begin is conservative in every
+// group's version space — lower starts cause at worst false aborts,
+// never missed conflicts (§6.2's conservative labeling, per group).
+func (p *Proxy) startVecLocked() []uint64 {
+	ps := p.part
+	ps.mu.Lock()
+	v := append([]uint64(nil), ps.vector...)
+	ps.mu.Unlock()
+	return v
+}
+
+// ingest feeds raw committed entries of group g to the assembler and
+// wakes the merger.
+func (p *Proxy) ingest(g int, remote []certifier.RemoteWS) {
+	if len(remote) == 0 {
+		return
+	}
+	ps := p.part
+	ps.mu.Lock()
+	for _, r := range remote {
+		ps.asm.Offer(g, r.Version, r.WSBytes)
+	}
+	ps.mu.Unlock()
+	p.mu.Lock()
+	p.lastRemote = time.Now()
+	p.mu.Unlock()
+	select {
+	case ps.wake <- struct{}{}:
+	default:
+	}
+}
+
+// mergerLoop is the replica's single applier in partitioned mode: it
+// drains ready actions from the assembler and installs them in merged
+// order. When the merge stalls it pulls every group at or behind the
+// blocked position — and if the blocking group's log is genuinely
+// shorter than the needed index, asks its leader to fill (idle
+// partitions must not stall the merge).
+//
+// Two pacing rules keep the merge from becoming the system
+// bottleneck. First, the nudge deadline is tracked across wake-ups:
+// under steady traffic, wake-ups from other groups' offers arrive
+// more often than the nudge interval, and a timer that re-armed on
+// every wake would never fire — the merge would then advance only at
+// the blocking group's natural commit cadence, which is exactly the
+// stall the nudge exists to break. Second, a nudge round that
+// ingested new entries re-runs immediately once the merge blocks
+// again (paced by the pull RPC itself, not the timer): the merge
+// horizon needs entries from every group, and waiting out the nudge
+// interval per group would cap the whole replica's apply rate at
+// groups-per-interval.
+func (p *Proxy) mergerLoop() {
+	defer p.wg.Done()
+	ps := p.part
+	stallG := -2 // no stall being tracked
+	var stallIdx uint64
+	var stallFirst, stallSince time.Time
+	hot := false // last nudge round made progress; keep streaming
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		default:
+		}
+		ps.mu.Lock()
+		var acts []partition.Action
+		for len(acts) < 256 {
+			act, ok := ps.asm.Next()
+			if !ok {
+				break
+			}
+			acts = append(acts, act)
+		}
+		var blockG int
+		var blockIdx uint64
+		if len(acts) == 0 {
+			blockG, blockIdx = ps.asm.Blocking()
+		}
+		ps.mu.Unlock()
+
+		if len(acts) == 0 {
+			// Progress gate: nudges and fills are warranted only while
+			// this replica has something to gain — a received entry
+			// waiting to merge, or a local client waiting for its own
+			// commit's merge position. Without the gate a quiescent
+			// cluster would fill forever: the merge is always "blocked"
+			// on the index after the last entry, and padding it just
+			// moves the block one index up.
+			ps.mu.Lock()
+			motive := ps.asm.Pending() || len(ps.waiters) > 0 || len(ps.gidWaiters) > 0
+			ps.mu.Unlock()
+			if !motive {
+				stallG, hot = -2, false
+				select {
+				case <-p.stopCh:
+					return
+				case <-ps.wake:
+				}
+				continue
+			}
+			now := time.Now()
+			if blockG != stallG || blockIdx != stallIdx {
+				stallG, stallIdx = blockG, blockIdx
+				stallFirst = now
+				if !hot {
+					stallSince = now
+				}
+			}
+			if wait := mergeStallNudge - now.Sub(stallSince); wait > 0 && !hot {
+				select {
+				case <-p.stopCh:
+					return
+				case <-ps.wake:
+				case <-time.After(wait):
+				}
+				continue
+			}
+			hot = p.nudgeLagging(blockG, blockIdx, now.Sub(stallFirst) >= mergeFillPatience)
+			stallSince = time.Now() // re-arm: give the pulled data time to land
+			continue
+		}
+		stallG = -2
+		if !p.applyActions(acts) {
+			return // store crashed; the recovery path builds a fresh proxy
+		}
+	}
+}
+
+// nudgeLagging unblocks a stalled merge: every group whose received
+// prefix is at or behind the blocked position is pulled forward, in
+// parallel — after the blocking group is resolved the merge would
+// immediately block on the next-laggiest group at the same position,
+// so pulling them one stall interval at a time would serialize the
+// whole merge on the nudge timer. A pulled group whose committed log
+// is genuinely shorter than the index the merge needs is asked to pad
+// itself with fill no-ops — but only if its pull response says it is
+// idle (no certifications in flight), or the force flag is set
+// because the same position has been blocked past the patience
+// window. Filling a busy group would be poison: the no-ops
+// group's index, which in turn makes every other group look short, so
+// an eager fill cascades into groups padding each other forever.
+// Returns whether any pull ingested new entries.
+func (p *Proxy) nudgeLagging(blockG int, blockIdx uint64, fill bool) bool {
+	ps := p.part
+	if blockG < 0 {
+		return false
+	}
+	var wg sync.WaitGroup
+	progressed := make([]bool, len(ps.topo.Groups))
+	ps.mu.Lock()
+	frontiers := make([]uint64, len(ps.topo.Groups))
+	for g := range frontiers {
+		frontiers[g] = ps.asm.Frontier(g)
+	}
+	ps.mu.Unlock()
+	// An idle group is padded level with the most advanced group, not
+	// just to the blocked row: every group must eventually supply an
+	// entry at each index up to the leader's frontier anyway, so one
+	// fill round (one fsync) covers the whole idle episode instead of
+	// one fsync per merged row.
+	fillTo := blockIdx
+	for _, f := range frontiers {
+		if f > fillTo {
+			fillTo = f
+		}
+	}
+	for g := range ps.topo.Groups {
+		if frontiers[g] > blockIdx {
+			continue // already past the merge horizon
+		}
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			progressed[g] = p.pullGroup(g, blockIdx, fillTo, fill && g == blockG)
+		}()
+	}
+	wg.Wait()
+	for _, ok := range progressed {
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// pullGroup pulls one group up toward needIdx, padding a genuinely
+// short group with fill no-ops when its pull response reports it idle
+// (or unconditionally when force is set — the patience fallback for a
+// group stuck busy under fault injection). Returns whether new
+// entries were ingested.
+func (p *Proxy) pullGroup(g int, needIdx, fillTo uint64, force bool) bool {
+	ps := p.part
+	pullFrom := func() uint64 {
+		ps.mu.Lock()
+		f := ps.asm.Frontier(g)
+		ps.mu.Unlock()
+		return f
+	}
+	frontier := pullFrom()
+	if needIdx < frontier {
+		return false // already received; the merger just has not run yet
+	}
+	client := ps.topo.Groups[g]
+	resp, err := client.Pull(certifier.PullRequest{
+		Origin: p.cfg.ReplicaID, ReplicaVersion: frontier, IncludeOwn: true,
+	})
+	if err != nil {
+		return false
+	}
+	p.ingest(g, resp.Remote)
+	after := pullFrom()
+	if needIdx < after {
+		return after > frontier
+	}
+	if resp.SystemVersion < needIdx && (!resp.Busy || force) {
+		// The group is genuinely short: it has no entry at needIdx and
+		// nothing in flight to produce one. Pad it so the merge can
+		// pass this position.
+		if fillTo < needIdx {
+			fillTo = needIdx
+		}
+		if _, err := client.Fill(fillTo); err != nil {
+			return after > frontier
+		}
+		resp, err = client.Pull(certifier.PullRequest{
+			Origin: p.cfg.ReplicaID, ReplicaVersion: pullFrom(), IncludeOwn: true,
+		})
+		if err == nil {
+			p.ingest(g, resp.Remote)
+			after = pullFrom()
+		}
+	}
+	return after > frontier
+}
+
+// takeWaiter consumes the own-commit waiter addressed by act, if one
+// is registered.
+func (p *Proxy) takeWaiter(act partition.Action) *ownWait {
+	ps := p.part
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if act.GID != 0 {
+		if w, ok := ps.gidWaiters[act.GID]; ok {
+			delete(ps.gidWaiters, act.GID)
+			return w
+		}
+		return nil
+	}
+	if w, ok := ps.waiters[waitKey{act.Group, act.Index}]; ok {
+		delete(ps.waiters, waitKey{act.Group, act.Index})
+		return w
+	}
+	return nil
+}
+
+// afterApply publishes a merged version: vector and cursor updates
+// (strictly after the store announce — Begin samples the vector
+// before the snapshot, and updating first would make starts too
+// high), plus the done-records for own entries that had no waiter
+// yet. Returns a waiter that registered during the apply, which must
+// now be notified that the merger installed its writeset.
+func (p *Proxy) afterApply(act partition.Action, viaHandle bool) *ownWait {
+	ps := p.part
+	ps.mu.Lock()
+	if act.Index > ps.vector[act.Group] {
+		ps.vector[act.Group] = act.Index
+	}
+	if act.MV > ps.mergedApplied {
+		ps.mergedApplied = act.MV
+	}
+	var late *ownWait
+	own := act.WS != nil && act.Origin == p.cfg.ReplicaID
+	if own && !viaHandle {
+		if act.GID != 0 {
+			if w, ok := ps.gidWaiters[act.GID]; ok {
+				delete(ps.gidWaiters, act.GID)
+				late = w
+			} else {
+				ps.doneGid[act.GID] = act.MV
+			}
+		} else {
+			key := waitKey{act.Group, act.Index}
+			if w, ok := ps.waiters[key]; ok {
+				delete(ps.waiters, key)
+				late = w
+			} else {
+				ps.doneIdx[key] = act.MV
+			}
+		}
+		// Unconsumed done-records (commit responses lost in crashes)
+		// would otherwise accumulate forever.
+		if len(ps.doneIdx) > 8192 {
+			ps.doneIdx = make(map[waitKey]uint64)
+		}
+		if len(ps.doneGid) > 8192 {
+			ps.doneGid = make(map[uint64]uint64)
+		}
+	}
+	ps.mu.Unlock()
+	p.advanceRV(act.MV)
+	return late
+}
+
+// applyActions installs a drained run of merged actions. Runs of
+// remote entries coalesce into one labeled commit (one store
+// transaction, one announce jump) — per-entry commits would pay one
+// fsync each in Base mode and one lock round trip each everywhere.
+// Own commits with a registered waiter commit through the waiting
+// handle. Returns false when the store crashed.
+func (p *Proxy) applyActions(acts []partition.Action) bool {
+	i := 0
+	for i < len(acts) {
+		act := acts[i]
+		if w := p.takeWaiter(act); w != nil {
+			if !p.applyOwn(act, w) {
+				return false
+			}
+			i++
+			continue
+		}
+		// Coalesce forward: everything until the next own-waiter entry.
+		j := i
+		merged := &core.Writeset{}
+		applied := 0
+		for j < len(acts) {
+			a := acts[j]
+			if p.hasWaiter(a) {
+				break
+			}
+			if a.WS != nil {
+				merged.Merge(a.WS)
+				applied++
+			}
+			j++
+		}
+		if j == i {
+			// A waiter registered between takeWaiter and hasWaiter;
+			// retry this action through the waiter path.
+			continue
+		}
+		from, to := acts[i].MV-1, acts[j-1].MV
+		if !p.applyMergedRange(merged, from, to) {
+			return false
+		}
+		for k := i; k < j; k++ {
+			a := acts[k]
+			if late := p.afterApply(a, false); late != nil {
+				late.ch <- ownDone{mv: a.MV, viaHandle: false}
+			}
+			if a.WS != nil && a.Origin != p.cfg.ReplicaID {
+				p.addStat(func(st *Stats) { st.RemoteApplied++ })
+			}
+		}
+		i = j
+	}
+	return true
+}
+
+// applyMergedRange installs one coalesced writeset covering merged
+// versions (from, to], retrying until it lands: the merged stream is
+// the replica's ground truth and cannot be skipped. Only a store
+// crash stops it.
+func (p *Proxy) applyMergedRange(ws *core.Writeset, from, to uint64) bool {
+	for {
+		err := p.applyBatchWithRecovery(ws, from, to, false)
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, mvstore.ErrCrashed) {
+			return false
+		}
+		select {
+		case <-p.stopCh:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// hasWaiter reports whether an own-commit waiter is registered for
+// act (used while composing coalesced runs).
+func (p *Proxy) hasWaiter(act partition.Action) bool {
+	ps := p.part
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if act.GID != 0 {
+		_, ok := ps.gidWaiters[act.GID]
+		return ok
+	}
+	_, ok := ps.waiters[waitKey{act.Group, act.Index}]
+	return ok
+}
+
+// applyOwn commits a waiting client transaction at its merged
+// position, through its own handle when possible (no re-execution),
+// falling back to apply-by-writeset when the handle was killed.
+func (p *Proxy) applyOwn(act partition.Action, w *ownWait) bool {
+	from, to := act.MV-1, act.MV
+	viaHandle := true
+	if err := w.tx.CommitLabeled(from, to); err != nil {
+		viaHandle = false
+		if !p.applyMergedRange(w.ws, from, to) {
+			// Store crashed mid-commit; release the waiter so the
+			// client unblocks (outcome resolves at recovery).
+			w.ch <- ownDone{mv: act.MV, viaHandle: false}
+			return false
+		}
+		p.addStat(func(st *Stats) { st.SoftRecoveries++ })
+	}
+	p.afterApply(act, true)
+	w.ch <- ownDone{mv: act.MV, viaHandle: viaHandle}
+	return true
+}
+
+// waitOwn blocks a committing client until the merger reaches its
+// entry. Returns the merged commit version.
+func (p *Proxy) waitOwn(t *Tx, register func() (uint64, bool, *ownWait)) (uint64, error) {
+	mv, done, w := register()
+	if done {
+		t.inner.Abort() // the merger already installed the writeset
+		return mv, nil
+	}
+	select {
+	case d := <-w.ch:
+		if !d.viaHandle {
+			t.inner.Abort()
+		}
+		return d.mv, nil
+	case <-p.stopCh:
+		return 0, fmt.Errorf("%w: commit outcome unresolved at shutdown", ErrProxyClosed)
+	case <-time.After(30 * time.Second):
+		return 0, fmt.Errorf("proxy: merged apply of own commit timed out")
+	}
+}
+
+// commitPartitioned is the partitioned-mode commit strategy.
+func (p *Proxy) commitPartitioned(t *Tx, ws *core.Writeset) error {
+	parts := p.part.topo.Map.Split(ws)
+	if len(parts) == 1 {
+		return p.commitSinglePartition(t, ws, parts[0].PID)
+	}
+	return p.commitCrossPartition(t, ws, parts)
+}
+
+// commitSinglePartition is the fast path: one certification round
+// against the owning group, then wait for the entry's merged apply.
+func (p *Proxy) commitSinglePartition(t *Tx, ws *core.Writeset, g int) error {
+	ps := p.part
+	ps.mu.Lock()
+	frontier := ps.asm.Frontier(g)
+	ps.mu.Unlock()
+	resp, err := ps.topo.Groups[g].Certify(certifier.Request{
+		Origin:         p.cfg.ReplicaID,
+		StartVersion:   t.startVec[g],
+		ReplicaVersion: frontier,
+		WSBytes:        ws.Encode(nil),
+	})
+	if err != nil {
+		t.inner.Abort()
+		return fmt.Errorf("proxy: certification: %w", err)
+	}
+	p.ingest(g, resp.Remote)
+	if !resp.Committed {
+		t.inner.Abort()
+		p.addStat(func(st *Stats) { st.CertAborts++ })
+		return ErrCertificationAbort
+	}
+	key := waitKey{g, resp.CommitVersion}
+	mv, err := p.waitOwn(t, func() (uint64, bool, *ownWait) {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		if mv, ok := ps.doneIdx[key]; ok {
+			delete(ps.doneIdx, key)
+			return mv, true, nil
+		}
+		w := &ownWait{tx: t.inner, ws: ws, ch: make(chan ownDone, 1)}
+		ps.waiters[key] = w
+		// A registered waiter is a reason for the merger to advance
+		// (it may be parked with nothing else to do).
+		select {
+		case ps.wake <- struct{}{}:
+		default:
+		}
+		return 0, false, w
+	})
+	if err != nil {
+		return err
+	}
+	t.commitVersion = mv
+	p.addStat(func(st *Stats) { st.Commits++ })
+	return nil
+}
+
+// commitCrossPartition runs the ordered two-phase protocol: prepare
+// in every involved group in ascending partition order (the canonical
+// lock order), then resolve-commit each; replicas apply the union of
+// the parts atomically at the first commit marker's merged position.
+func (p *Proxy) commitCrossPartition(t *Tx, ws *core.Writeset, parts []partition.Part) error {
+	ps := p.part
+	gid := uint64(p.cfg.ReplicaID)<<40 | (gidCounter.Add(1) & (1<<40 - 1))
+	involved := make([]int, len(parts))
+	for i, part := range parts {
+		involved[i] = part.PID
+	}
+
+	prepared := make([]int, 0, len(parts))
+	for _, part := range parts {
+		resp, err := ps.topo.Groups[part.PID].Prepare(certifier.PrepareRequest{
+			GID:          gid,
+			Origin:       p.cfg.ReplicaID,
+			StartVersion: t.startVec[part.PID],
+			Involved:     involved,
+			WSBytes:      part.WS.Encode(nil),
+		})
+		if err != nil || !resp.Prepared {
+			// Abort the whole transaction. The failed group is included
+			// in the resolve set: on a transport error its prepare may
+			// have landed, and an abort marker for a never-prepared gid
+			// is a harmless no-op.
+			p.resolveDetached(gid, append(prepared, part.PID), false)
+			t.inner.Abort()
+			if err != nil {
+				return fmt.Errorf("proxy: prepare in partition %d: %w", part.PID, err)
+			}
+			p.addStat(func(st *Stats) { st.CertAborts++; st.CrossPartAborts++ })
+			return ErrCertificationAbort
+		}
+		prepared = append(prepared, part.PID)
+	}
+
+	// Register the waiter before any marker can exist, then resolve.
+	w := &ownWait{tx: t.inner, ws: ws, ch: make(chan ownDone, 1)}
+	ps.mu.Lock()
+	ps.gidWaiters[gid] = w
+	ps.mu.Unlock()
+	select {
+	case ps.wake <- struct{}{}:
+	default:
+	}
+
+	if !p.resolveAll(gid, prepared, true) {
+		// Some group is unreachable; a detached resolver keeps
+		// retrying (the prepares are durable — the decision must
+		// reach every group or its locks stay held).
+		p.resolveDetached(gid, prepared, true)
+	}
+
+	mv, err := p.waitOwn(t, func() (uint64, bool, *ownWait) {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		if mv, ok := ps.doneGid[gid]; ok {
+			delete(ps.doneGid, gid)
+			delete(ps.gidWaiters, gid)
+			return mv, true, nil
+		}
+		return 0, false, w
+	})
+	if err != nil {
+		ps.mu.Lock()
+		delete(ps.gidWaiters, gid)
+		ps.mu.Unlock()
+		return err
+	}
+	t.commitVersion = mv
+	p.addStat(func(st *Stats) { st.Commits++; st.CrossPartCommits++ })
+	return nil
+}
+
+// resolveAll sends the decision to each group in ascending order,
+// reporting whether every group acknowledged it.
+func (p *Proxy) resolveAll(gid uint64, pids []int, commit bool) bool {
+	ok := true
+	for _, pid := range pids {
+		if _, err := p.part.topo.Groups[pid].Resolve(certifier.ResolveRequest{GID: gid, Commit: commit}); err != nil {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// resolveDetached completes the decision protocol in the background:
+// it retries until every group has the marker. It touches only
+// certifier clients (never the store), so it is safe across a
+// simulated replica crash; it stops only when the decision landed
+// everywhere or the process ends.
+func (p *Proxy) resolveDetached(gid uint64, pids []int, commit bool) {
+	groups := p.part.topo.Groups
+	go func() {
+		backoff := 5 * time.Millisecond
+		pending := append([]int(nil), pids...)
+		for len(pending) > 0 {
+			var still []int
+			for _, pid := range pending {
+				if _, err := groups[pid].Resolve(certifier.ResolveRequest{GID: gid, Commit: commit}); err != nil {
+					still = append(still, pid)
+				}
+			}
+			pending = still
+			if len(pending) == 0 {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+		}
+	}()
+}
+
+// pullOncePartitioned fetches every group's stream forward once.
+func (p *Proxy) pullOncePartitioned() error {
+	ps := p.part
+	var firstErr error
+	for g := range ps.topo.Groups {
+		ps.mu.Lock()
+		frontier := ps.asm.Frontier(g)
+		ps.mu.Unlock()
+		resp, err := ps.topo.Groups[g].Pull(certifier.PullRequest{
+			Origin: p.cfg.ReplicaID, ReplicaVersion: frontier, IncludeOwn: true,
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		p.ingest(g, resp.Remote)
+	}
+	p.addStat(func(st *Stats) { st.StalenessPulls++ })
+	return firstErr
+}
+
+// resyncPartitioned brings a recovered replica back: the merger
+// replays every group's stream from index 1 (the store's labeled-
+// commit gate turns already-covered versions into no-ops), so resync
+// only has to pull the streams and wait until the merged cursor
+// reaches the pre-crash base.
+func (p *Proxy) resyncPartitioned() error {
+	p.addStat(func(st *Stats) { st.Resyncs++ })
+	base := p.cfg.Store.AnnouncedVersion()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := p.pullOncePartitioned(); err != nil {
+			return err
+		}
+		ps := p.part
+		ps.mu.Lock()
+		applied := ps.mergedApplied
+		ps.mu.Unlock()
+		if applied >= base {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("proxy: partitioned resync stuck at merged version %d of %d", applied, base)
+		}
+		select {
+		case <-p.stopCh:
+			return ErrProxyClosed
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// MergedApplied returns the merged-order cursor (partitioned mode).
+func (p *Proxy) MergedApplied() uint64 {
+	if p.part == nil {
+		return 0
+	}
+	p.part.mu.Lock()
+	defer p.part.mu.Unlock()
+	return p.part.mergedApplied
+}

@@ -33,6 +33,7 @@ import (
 	"tashkent/internal/certifier"
 	"tashkent/internal/core"
 	"tashkent/internal/mvstore"
+	"tashkent/internal/partition"
 )
 
 // Mode selects the commit strategy.
@@ -83,6 +84,8 @@ type Stats struct {
 	SoftRecoveries      int64 // §8.1 soft-recovery rounds
 	Resyncs             int64 // full pull-based resynchronizations
 	StalenessPulls      int64
+	CrossPartCommits    int64 // cross-partition transactions committed (partitioned mode)
+	CrossPartAborts     int64 // cross-partition transactions aborted in prepare
 }
 
 // Config parameterizes a proxy.
@@ -112,6 +115,12 @@ type Config struct {
 	SeqObserver func(epoch, seq uint64, outcome string)
 	// ChunkWaitTimeout bounds artificial-conflict waits (0 = 5 s).
 	ChunkWaitTimeout time.Duration
+	// Parts, when set, switches the proxy to partitioned certification
+	// (see internal/partition): commits route by partition across the
+	// topology's certifier groups, and Cert is ignored. Requires
+	// EagerPreCert (the merger must be able to displace local
+	// transactions holding locks it needs).
+	Parts *partition.Topology
 }
 
 // Proxy is the per-replica replication middleware.
@@ -142,6 +151,9 @@ type Proxy struct {
 	// store's labeled-commit gate instead.
 	applierTxs map[uint64]struct{}
 
+	// part is the partitioned-certification state (nil in classic mode).
+	part *partState
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
@@ -170,6 +182,11 @@ func New(cfg Config) *Proxy {
 		applierTxs:    make(map[uint64]struct{}),
 		lastRemote:    time.Now(),
 		stopCh:        make(chan struct{}),
+	}
+	if cfg.Parts != nil {
+		p.part = newPartState(cfg.Parts)
+		p.wg.Add(1)
+		go p.mergerLoop()
 	}
 	if cfg.StalenessBound > 0 {
 		p.wg.Add(1)
@@ -224,6 +241,9 @@ type Tx struct {
 	// record their observed version: the causal token of a session that
 	// only read must still cover everything the snapshot exposed.
 	commitVersion uint64
+	// startVec is the per-group start vector in partitioned mode: the
+	// snapshot's conservative position in each group's version space.
+	startVec []uint64
 }
 
 // SnapshotVersion returns the replica version the transaction's
@@ -254,12 +274,19 @@ func (p *Proxy) Begin() (*Tx, error) {
 		return nil, ErrProxyClosed
 	}
 	p.mu.Unlock()
+	var startVec []uint64
+	if p.part != nil {
+		// Sampled before the snapshot, like start: the vector advances
+		// only after a merged version is announced, so each component is
+		// a conservative label in its group's version space.
+		startVec = p.startVecLocked()
+	}
 	start := p.cfg.Store.AnnouncedVersion()
 	inner, err := p.cfg.Store.Begin()
 	if err != nil {
 		return nil, err
 	}
-	tx := &Tx{p: p, inner: inner, start: start, observed: p.cfg.Store.AnnouncedVersion()}
+	tx := &Tx{p: p, inner: inner, start: start, observed: p.cfg.Store.AnnouncedVersion(), startVec: startVec}
 	if p.cfg.EagerPreCert {
 		inner.SetWriteHook(p.preCertHook(inner))
 	}
@@ -352,6 +379,15 @@ func (t *Tx) CommitCtx(ctx context.Context) error {
 		p.stats.ReadOnlyCommits++
 		p.mu.Unlock()
 		return nil
+	}
+
+	if p.part != nil {
+		// Partitioned mode: route by partition. Local certification and
+		// the response sequencer do not apply — entries are addressed by
+		// (group, index) and ordered by the deterministic merge.
+		p.markCommitting(t.inner.ID(), true)
+		defer p.markCommitting(t.inner.ID(), false)
+		return p.commitPartitioned(t, ws)
 	}
 
 	// Local certification (§6.2): a conflict with an already-received
@@ -614,6 +650,9 @@ func (p *Proxy) stalenessLoop() {
 // whose data never reached this replica, a permanent hole no later
 // resync could see (the resync basis sits above it).
 func (p *Proxy) PullOnce() error {
+	if p.part != nil {
+		return p.pullOncePartitioned()
+	}
 	resp, err := p.cfg.Cert.Pull(certifier.PullRequest{
 		Origin:         p.cfg.ReplicaID,
 		ReplicaVersion: p.ReplicaVersion(),

@@ -20,6 +20,7 @@ import (
 
 	"tashkent/internal/certifier"
 	"tashkent/internal/mvstore"
+	"tashkent/internal/partition"
 	"tashkent/internal/proxy"
 	"tashkent/internal/simdisk"
 	"tashkent/internal/wal"
@@ -43,6 +44,10 @@ type Config struct {
 	Mode proxy.Mode
 	IO   IOConfig
 	Cert *certifier.Client
+	// Parts switches the replica to partitioned certification: commits
+	// route across the topology's certifier groups and Cert is unused
+	// (see internal/partition). Forces eager pre-certification.
+	Parts *partition.Topology
 
 	// Storage tuning (see mvstore.Config).
 	PageMissEvery   int
@@ -120,16 +125,25 @@ func Open(cfg Config) *Replica {
 }
 
 func (r *Replica) newProxy(store *mvstore.Store) *proxy.Proxy {
+	eager := r.cfg.EagerPreCert
+	if r.cfg.Parts != nil {
+		// The merger goroutine must be able to displace local
+		// transactions holding row locks it needs; without eager kills
+		// an own commit waiting for its merge position can deadlock
+		// against the merger until lock timeouts fire.
+		eager = true
+	}
 	return proxy.New(proxy.Config{
 		Mode:               r.cfg.Mode,
 		ReplicaID:          r.cfg.ID,
 		Store:              store,
 		Cert:               r.cfg.Cert,
 		LocalCertification: r.cfg.LocalCertification,
-		EagerPreCert:       r.cfg.EagerPreCert,
+		EagerPreCert:       eager,
 		StalenessBound:     r.cfg.StalenessBound,
 		SeqTimeout:         r.cfg.SeqTimeout,
 		SeqObserver:        r.cfg.SeqObserver,
+		Parts:              r.cfg.Parts,
 	})
 }
 
