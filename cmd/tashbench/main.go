@@ -13,6 +13,8 @@
 //	tashbench -exp readscale -clientsweep 1,2,4,8,16,32
 //	tashbench -exp partitions -partitions 1,2,4,8 -replicas 4 -clients 32
 //	tashbench -exp chaos -seed 1 -seeds 20
+//	tashbench -exp gray -seed 1 -seeds 10
+//	tashbench -exp overload -measure 3s
 //
 // Experiments: fig4 (covers Fig 4+5), fig6 (6+7), fig8 (8+9),
 // fig10 (10+11), fig12 (12+13), fig14, standalone (§9.2 text),
@@ -28,7 +30,13 @@
 // drops, duplicates, reorders, replica and certifier crash-restarts —
 // with a machine-checked safety-invariant verdict per seed; -seed
 // selects the first seed, -seeds how many consecutive seeds to run,
-// and a failing run replays exactly from its printed seed), all.
+// and a failing run replays exactly from its printed seed), gray
+// (seeded gray-failure drills: slow/lossy victim links and slow-disk
+// episodes through the same invariant checker, plus the router
+// ejection and read-only degradation drills), overload (open-loop
+// goodput-vs-offered-load ladder past the saturation knee,
+// exercising the certifier's admission control; -measure scales the
+// windows), all.
 package main
 
 import (
@@ -44,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|partitions|chaos|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|partitions|chaos|gray|overload|all")
 		scale    = flag.Int("scale", 10, "divide paper disk latencies by this factor (1 = full 8ms fsyncs)")
 		replicas = flag.String("replicas", "1,2,4,8,12,15", "comma-separated replica counts to sweep")
 		clients  = flag.Int("clients", 10, "closed-loop clients per replica")
@@ -57,7 +65,7 @@ func main() {
 			"comma-separated routing policies for -exp policies: roundrobin|leastinflight|rwsplit")
 		clientSweep = flag.String("clientsweep", "1,2,4,8,16,32",
 			"comma-separated client counts for -exp readscale")
-		chaosSeeds = flag.Int("seeds", 20, "number of consecutive seeds for -exp chaos (starting at -seed)")
+		chaosSeeds = flag.Int("seeds", 20, "number of consecutive seeds for -exp chaos/gray (starting at -seed)")
 		partitions = flag.String("partitions", "1,2,4,8",
 			"comma-separated certifier-group counts for -exp partitions")
 	)
@@ -126,8 +134,34 @@ func main() {
 			_, err := harness.RunChaosExperiment(seeds, opt)
 			return err
 		},
+		"gray": func() error {
+			if *chaosSeeds < 1 {
+				*chaosSeeds = 1
+			}
+			seeds := make([]int64, *chaosSeeds)
+			for i := range seeds {
+				seeds[i] = *seed + int64(i)
+			}
+			if _, err := harness.RunGrayExperiment(seeds, opt); err != nil {
+				return err
+			}
+			disk, err := harness.RunSlowDiskDrill(*seed, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stdout, "\nslow-disk drill: ejected after %v, post-ejection p99 %v (slow share %.0f%%), recovered=%v\n",
+				disk.EjectAfter, disk.PostP99, 100*disk.PostSlowShare, disk.Recovered)
+			deg, err := harness.RunDegradedDrill(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stdout, "degraded drill: %d slow fails before read-only, fail-fast %v, readsOK=%v, writes recovered=%v\n",
+				deg.FailsBeforeDegraded, deg.DegradedFailFast, deg.ReadsOKDuring, deg.WriteRecovered)
+			return nil
+		},
+		"overload": func() error { _, err := harness.RunOverloadExperiment(opt); return err },
 	}
-	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale", "partitions", "chaos"}
+	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale", "partitions", "chaos", "gray", "overload"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -1,10 +1,11 @@
 package certifier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"tashkent/internal/transport"
@@ -15,14 +16,34 @@ import (
 // cannot be processed).
 var ErrNoCertifier = errors.New("certifier: no certifier available")
 
+// ErrDegraded reports that the client's group breaker is open: the
+// whole certifier group has been unreachable long enough (consecutive
+// full failover cycles exhausted) that further calls fail fast instead
+// of hanging for the full retry budget. Replicas keep serving snapshot
+// reads at their last merged version; writes surface this error
+// immediately. A half-open probe re-tests the group periodically and
+// any success closes the breaker.
+var ErrDegraded = errors.New("certifier: group degraded (no quorum reachable)")
+
+// Consecutive ErrNoCertifier outcomes that open the group breaker, and
+// how often a half-open probe is let through while it is open.
+const (
+	degradeThreshold     = 2
+	degradeProbeInterval = 200 * time.Millisecond
+)
+
 // Client is the proxy side of the certification protocol: it tracks
 // the current leader across the certifier group and fails over on
 // redirects and node crashes.
 type Client struct {
-	mu      sync.Mutex
+	leader  atomic.Int64
 	nodes   []transport.Client // indexed by certifier id
-	leader  int
 	timeout time.Duration
+
+	// Group-degradation breaker state (see ErrDegraded).
+	failStreak    atomic.Int32
+	degradedUntil atomic.Int64 // unix-nano; 0 = closed
+	probing       atomic.Bool
 }
 
 // NewClient builds a client over per-node transports (indexed by
@@ -37,23 +58,40 @@ func NewClient(nodes []transport.Client, timeout time.Duration) *Client {
 
 // Certify runs one certification request against the group leader.
 func (c *Client) Certify(req Request) (Response, error) {
+	return c.CertifyCtx(context.Background(), req)
+}
+
+// CertifyCtx is Certify bounded by the caller's context: the failover
+// loop stops at the earlier of ctx's deadline and the client timeout,
+// and backoff sleeps wake on cancellation.
+func (c *Client) CertifyCtx(ctx context.Context, req Request) (Response, error) {
 	var resp Response
-	err := c.call(MethodCertify, req, &resp)
+	err := c.call(ctx, MethodCertify, req, &resp)
 	return resp, err
 }
 
 // Pull fetches missing remote writesets (staleness bounding).
 func (c *Client) Pull(req PullRequest) (PullResponse, error) {
+	return c.PullCtx(context.Background(), req)
+}
+
+// PullCtx is Pull bounded by the caller's context.
+func (c *Client) PullCtx(ctx context.Context, req PullRequest) (PullResponse, error) {
 	var resp PullResponse
-	err := c.call(MethodPull, req, &resp)
+	err := c.call(ctx, MethodPull, req, &resp)
 	return resp, err
 }
 
 // Prepare runs phase 1 of a cross-partition commit against this
 // group's leader. Safe to retry: the server is idempotent per gid.
 func (c *Client) Prepare(req PrepareRequest) (PrepareResponse, error) {
+	return c.PrepareCtx(context.Background(), req)
+}
+
+// PrepareCtx is Prepare bounded by the caller's context.
+func (c *Client) PrepareCtx(ctx context.Context, req PrepareRequest) (PrepareResponse, error) {
 	var resp PrepareResponse
-	err := c.call(MethodPrepare, req, &resp)
+	err := c.call(ctx, MethodPrepare, req, &resp)
 	return resp, err
 }
 
@@ -61,7 +99,7 @@ func (c *Client) Prepare(req PrepareRequest) (PrepareResponse, error) {
 // group's leader. Safe to retry: the first decision marker wins.
 func (c *Client) Resolve(req ResolveRequest) (ResolveResponse, error) {
 	var resp ResolveResponse
-	err := c.call(MethodResolve, req, &resp)
+	err := c.call(context.Background(), MethodResolve, req, &resp)
 	return resp, err
 }
 
@@ -69,30 +107,79 @@ func (c *Client) Resolve(req ResolveRequest) (ResolveResponse, error) {
 // entries (deterministic-merge liveness; see Server.FillTo).
 func (c *Client) Fill(target uint64) (FillResponse, error) {
 	var resp FillResponse
-	err := c.call(MethodFill, FillRequest{Target: target}, &resp)
+	err := c.call(context.Background(), MethodFill, FillRequest{Target: target}, &resp)
 	return resp, err
 }
 
-func (c *Client) call(method string, req, resp interface{}) error {
+// Degraded reports whether the group breaker is currently open.
+func (c *Client) Degraded() bool {
+	until := c.degradedUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
+// breakerAdmit gates a call on the group breaker. It returns an error
+// when the call should fail fast, and a release func (nil when no
+// probe token was taken).
+func (c *Client) breakerAdmit() (func(), error) {
+	until := c.degradedUntil.Load()
+	if until == 0 {
+		return nil, nil
+	}
+	if time.Now().UnixNano() < until {
+		return nil, fmt.Errorf("%w: retrying in %v", ErrDegraded, time.Until(time.Unix(0, until)).Round(time.Millisecond))
+	}
+	// Cooldown elapsed: half-open. Admit a single probe; everyone else
+	// keeps failing fast until the probe reports.
+	if !c.probing.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("%w: probe in flight", ErrDegraded)
+	}
+	return func() { c.probing.Store(false) }, nil
+}
+
+// noteOutcome feeds the breaker: reachable leaders (success or an
+// application-level error) close it, a fully exhausted failover cycle
+// counts toward opening it.
+func (c *Client) noteOutcome(reachable bool) {
+	if reachable {
+		c.failStreak.Store(0)
+		c.degradedUntil.Store(0)
+		return
+	}
+	if c.failStreak.Add(1) >= degradeThreshold {
+		c.degradedUntil.Store(time.Now().Add(degradeProbeInterval).UnixNano())
+	}
+}
+
+func (c *Client) call(ctx context.Context, method string, req, resp interface{}) error {
 	payload, err := gobEncode(req)
 	if err != nil {
 		return err
 	}
+	release, err := c.breakerAdmit()
+	if err != nil {
+		return err
+	}
+	if release != nil {
+		defer release()
+	}
 	deadline := time.Now().Add(c.timeout)
-	c.mu.Lock()
-	target := c.leader
-	c.mu.Unlock()
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	target := int(c.leader.Load())
 	var lastErr error
 	backoff := time.Millisecond
 	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if target < 0 || target >= len(c.nodes) {
 			target = 0
 		}
 		respB, err := c.nodes[target].Call(method, payload)
 		if err == nil {
-			c.mu.Lock()
-			c.leader = target
-			c.mu.Unlock()
+			c.leader.Store(int64(target))
+			c.noteOutcome(true)
 			return gobDecode(respB, resp)
 		}
 		lastErr = err
@@ -105,6 +192,12 @@ func (c *Client) call(method string, req, resp interface{}) error {
 				} else {
 					target = (target + 1) % len(c.nodes)
 				}
+			} else if ra, shed := parseOverloaded(rerr.Msg); shed {
+				// Load shed by the leader. Not a failover signal —
+				// only the leader certifies — so surface it with the
+				// retry-after hint and let the session back off.
+				c.noteOutcome(true)
+				return &OverloadedError{RetryAfter: ra}
 			} else if strings.Contains(rerr.Msg, "paxos:") {
 				// Transient replication failure (leadership churn
 				// mid-proposal): retrying is safe — a duplicated
@@ -113,7 +206,9 @@ func (c *Client) call(method string, req, resp interface{}) error {
 				// apply idempotently.
 				target = (target + 1) % len(c.nodes)
 			} else {
-				// Application error from the leader: surface it.
+				// Application error from the leader: surface it. The
+				// leader is reachable, so the group is not degraded.
+				c.noteOutcome(true)
 				return err
 			}
 		case errors.Is(err, transport.ErrUnavailable):
@@ -121,10 +216,18 @@ func (c *Client) call(method string, req, resp interface{}) error {
 		default:
 			target = (target + 1) % len(c.nodes)
 		}
-		time.Sleep(backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
 		if backoff < 50*time.Millisecond {
 			backoff *= 2
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.noteOutcome(false)
 	return fmt.Errorf("%w: %v", ErrNoCertifier, lastErr)
 }

@@ -15,8 +15,10 @@ package certifier
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"tashkent/internal/core"
 	"tashkent/internal/transport"
@@ -44,6 +46,11 @@ type Request struct {
 	ReplicaVersion uint64
 	WSBytes        []byte
 	NeedSafeBack   bool
+	// Deadline is the caller's context deadline in UnixNano (0 = none).
+	// The certifier drops the request before conflict-checking and
+	// proposing if the deadline has passed — a dead client's work must
+	// not occupy batch slots or paxos log entries.
+	Deadline int64
 }
 
 // MustWriteset decodes the request's writeset. It panics on a decode
@@ -185,6 +192,64 @@ func parseNotLeader(msg string) (hint int, ok bool) {
 		return -1, true
 	}
 	return h, true
+}
+
+// overloadedPrefix marks load-shed responses. Unlike NOTLEADER it is
+// not a failover signal: only the leader certifies, so rotating on it
+// would just trade an overload error for NOTLEADER churn. Clients
+// surface it immediately with the retry-after hint.
+const overloadedPrefix = "OVERLOADED"
+
+// ErrOverloaded is the sentinel for admission-control load shedding:
+// the certifier's queue wait exceeded its budget (or the queue is
+// full) and the request was rejected before consuming a batch slot.
+// Retryable — errors carrying it also carry a retry-after hint, see
+// RetryAfter.
+var ErrOverloaded = errors.New("certifier: overloaded")
+
+// OverloadedError is the typed form of a shed response.
+type OverloadedError struct {
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("certifier: overloaded (retry after %v)", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// RetryAfter extracts the backoff hint from an overload error chain.
+func RetryAfter(err error) (time.Duration, bool) {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
+// overloadedError formats the wire form of a shed response.
+func overloadedError(retryAfter time.Duration) error {
+	ms := retryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return fmt.Errorf("%s %d", overloadedPrefix, ms)
+}
+
+// parseOverloaded recognizes the wire form and recovers the hint.
+func parseOverloaded(msg string) (retryAfter time.Duration, ok bool) {
+	idx := strings.Index(msg, overloadedPrefix)
+	if idx < 0 {
+		return 0, false
+	}
+	rest := strings.TrimSpace(msg[idx+len(overloadedPrefix):])
+	var ms int64
+	if _, err := fmt.Sscanf(rest, "%d", &ms); err != nil || ms < 1 {
+		ms = 1
+	}
+	return time.Duration(ms) * time.Millisecond, true
 }
 
 // Log-entry payload: the data stored in each paxos log entry.

@@ -31,8 +31,10 @@ import (
 
 // certifyTask carries one admitted request through the pipeline.
 type certifyTask struct {
-	req Request
-	ws  *core.Writeset
+	req      Request
+	ws       *core.Writeset
+	enqueued time.Time // when the task entered the admission queue
+	deadline time.Time // caller's context deadline (zero = none)
 
 	// Filled by the certification loop.
 	resp    Response
@@ -42,6 +44,11 @@ type certifyTask struct {
 
 	done chan struct{} // closed when resp/err are final
 }
+
+// errDeadlineExpired resolves requests whose caller's context deadline
+// passed before certification started; the caller has already given up,
+// so the text is informational only.
+var errDeadlineExpired = errors.New("certifier: caller deadline expired before certification")
 
 // finish publishes the task's outcome to its waiting RPC handler.
 func (t *certifyTask) finish() { close(t.done) }
@@ -68,11 +75,68 @@ func (s *Server) certify(req Request) (Response, error) {
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	t := &certifyTask{req: req, ws: ws, done: make(chan struct{})}
+	if req.Deadline != 0 {
+		t.deadline = time.Unix(0, req.Deadline)
+		if time.Now().After(t.deadline) {
+			s.expiredCount.Add(1)
+			return Response{}, errDeadlineExpired
+		}
+	}
+	// Admission control: take a slot token (one exists per queue slot,
+	// released when the pipeline dequeues the task), waiting up to
+	// AdmitTimeout before shedding with a retry-after hint. The token
+	// — not a timed send on the queue channel itself — is what bounds
+	// queueing, so t.enqueued can be stamped AFTER the door: the
+	// stage-2 queue-wait budget then measures time spent in the queue,
+	// and a request that waited at the door is not pre-doomed to
+	// out-wait that budget. (A negative AdmitTimeout restores the old
+	// unbounded blocking.)
+	select {
+	case <-s.slots:
+	case <-s.stopCh:
+		return Response{}, paxos.ErrStopped
+	default:
+		if s.cfg.AdmitTimeout < 0 {
+			select {
+			case <-s.slots:
+			case <-s.stopCh:
+				return Response{}, paxos.ErrStopped
+			}
+			break
+		}
+		// A dead client must not hold a door waiter longer than its
+		// own deadline.
+		wait := s.cfg.AdmitTimeout
+		if !t.deadline.IsZero() {
+			if until := time.Until(t.deadline); until < wait {
+				wait = until
+			}
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-s.slots:
+			timer.Stop()
+		case <-timer.C:
+			if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+				s.expiredCount.Add(1)
+				return Response{}, errDeadlineExpired
+			}
+			s.shedCount.Add(1)
+			return Response{}, overloadedError(s.retryAfterHint())
+		case <-s.stopCh:
+			timer.Stop()
+			return Response{}, paxos.ErrStopped
+		}
+	}
+	// Token in hand: queue occupancy is strictly below QueueDepth, so
+	// this send cannot block behind anything but scheduling.
+	t.enqueued = time.Now()
 	select {
 	case s.admitCh <- t:
 	case <-s.stopCh:
 		return Response{}, paxos.ErrStopped
 	}
+	s.queueDepth.Observe(int64(len(s.admitCh)))
 	select {
 	case <-t.done:
 		return t.resp, t.err
@@ -88,6 +152,16 @@ func (s *Server) certify(req Request) (Response, error) {
 	}
 }
 
+// releaseSlot returns an admission token when a task leaves the queue.
+// The default arm is defensive: the token count never exceeds the
+// channel capacity because every release pairs with a dequeue.
+func (s *Server) releaseSlot() {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+	}
+}
+
 // certifyLoop is the dedicated certification stage: it blocks for the
 // first admitted request, gathers a batch, and processes it.
 func (s *Server) certifyLoop() {
@@ -96,6 +170,7 @@ func (s *Server) certifyLoop() {
 		var first *certifyTask
 		select {
 		case first = <-s.admitCh:
+			s.releaseSlot()
 		case <-s.stopCh:
 			s.drainAdmitted()
 			return
@@ -119,6 +194,7 @@ func (s *Server) gatherBatch(first *certifyTask) []*certifyTask {
 		for len(batch) < s.cfg.MaxBatch {
 			select {
 			case t := <-s.admitCh:
+				s.releaseSlot()
 				batch = append(batch, t)
 			default:
 				return batch
@@ -131,6 +207,7 @@ func (s *Server) gatherBatch(first *certifyTask) []*certifyTask {
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case t := <-s.admitCh:
+			s.releaseSlot()
 			batch = append(batch, t)
 		case <-timer.C:
 			return batch
@@ -148,6 +225,7 @@ func (s *Server) drainAdmitted() {
 	for {
 		select {
 		case t := <-s.admitCh:
+			s.releaseSlot()
 			t.fail(paxos.ErrStopped)
 		default:
 			return
@@ -179,8 +257,32 @@ func (s *Server) processBatch(batch []*certifyTask) {
 	firstVersion := uint64(s.engine.SystemVersion()) + 1
 	var commits []*certifyTask
 	var datas [][]byte
+	drainedAt := time.Now()
 	for _, t := range batch {
 		s.stats.Requests++
+		wait := drainedAt.Sub(t.enqueued)
+		s.queueWait.Observe(wait)
+		// Deadline and queue-wait policing come before any certification
+		// work: a dead client's request must not conflict-check, consume
+		// a batch slot in the propose, or take a sequence number (it is
+		// resolved with an error below, so per-origin sequences stay
+		// dense).
+		if !t.deadline.IsZero() && drainedAt.After(t.deadline) {
+			s.expiredCount.Add(1)
+			t.err = errDeadlineExpired
+			continue
+		}
+		// Queue-wait backstop at twice the budget: the door bounds
+		// routine queueing to about one AdmitTimeout (slot tokens), so
+		// reaching 2x means the drain collapsed under this task —
+		// certifying it now only adds latency behind the recovery. A
+		// 1x cliff here would turn a transient stall (a GC pause, one
+		// slow fsync) into a shed cascade of still-viable requests.
+		if s.cfg.AdmitTimeout > 0 && wait > 2*s.cfg.AdmitTimeout {
+			s.shedCount.Add(1)
+			t.err = overloadedError(s.retryAfterHint())
+			continue
+		}
 		// Full certification check first; injected aborts (Fig 14)
 		// happen after the check so the certifier pays all its usual
 		// costs.

@@ -54,6 +54,18 @@ type Config struct {
 	// is already queued — under load batches form naturally while the
 	// previous barrier is on the disk.
 	MaxWait time.Duration
+	// AdmitTimeout is the admission-control budget: a request that
+	// cannot get a queue slot within this budget is shed with an
+	// OVERLOADED/retry-after response instead of queueing without
+	// bound, and one that has already waited twice the budget in the
+	// queue when a batch drains (drain collapse) is shed under the
+	// same contract. Zero selects the default of 1s; negative disables
+	// shedding (requests block as before).
+	AdmitTimeout time.Duration
+	// QueueDepth caps the admission queue (<=0 selects 4*MaxBatch).
+	// Size it to roughly one AdmitTimeout of drain so an admitted
+	// request's queue wait stays inside the budget.
+	QueueDepth int
 	// PaxosCallHook, if set, filters this node's outgoing replication
 	// RPCs (see paxos.Config.CallHook) — the chaos harness's handle for
 	// isolating a certifier from its peers.
@@ -89,10 +101,19 @@ type Server struct {
 	disk *simdisk.Disk
 
 	admitCh    chan *certifyTask // admission queue feeding the loop
+	slots      chan struct{}     // admission tokens: one per queue slot, released at dequeue
 	stopCh     chan struct{}
 	stopOnce   sync.Once
 	loopWG     sync.WaitGroup
 	batchSizes metrics.Distribution // commits proposed per batch
+
+	// Admission-control observability: queue depth at admit time,
+	// queue wait at drain time, and the shed/expired totals — the data
+	// behind tashbench's goodput-vs-offered-load knee plot.
+	queueDepth   metrics.Distribution
+	queueWait    *metrics.Latency
+	shedCount    atomic.Int64 // requests rejected with OVERLOADED
+	expiredCount atomic.Int64 // requests dropped: caller deadline passed
 	// barrierInFlight coalesces the automatic post-election barrier
 	// (see ensureEngineLocked).
 	barrierInFlight atomic.Bool
@@ -124,13 +145,24 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = defaultMaxBatch
 	}
+	if cfg.AdmitTimeout == 0 {
+		cfg.AdmitTimeout = time.Second
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.MaxBatch
+	}
 	s := &Server{
-		cfg:     cfg,
-		disk:    cfg.Disk,
-		engine:  core.NewEngine(),
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),
-		admitCh: make(chan *certifyTask, 4*cfg.MaxBatch),
-		stopCh:  make(chan struct{}),
+		cfg:       cfg,
+		disk:      cfg.Disk,
+		engine:    core.NewEngine(),
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),
+		admitCh:   make(chan *certifyTask, cfg.QueueDepth),
+		slots:     make(chan struct{}, cfg.QueueDepth),
+		stopCh:    make(chan struct{}),
+		queueWait: metrics.NewLatency(0),
+	}
+	for i := 0; i < cfg.QueueDepth; i++ {
+		s.slots <- struct{}{}
 	}
 	s.node = paxos.NewNode(paxos.Config{
 		ID:              cfg.ID,
@@ -202,12 +234,46 @@ func (s *Server) DiskUtilization() float64 { return s.disk.Utilization() }
 // many commits shared one replication round and durability barrier.
 func (s *Server) BatchStats() metrics.DistSummary { return s.batchSizes.Summarize() }
 
+// QueueStats is a snapshot of admission-control activity.
+type QueueStats struct {
+	Depth   metrics.DistSummary // queue depth observed at admit time
+	Wait    metrics.Summary     // admission-queue wait of drained requests
+	Shed    int64               // requests rejected with OVERLOADED
+	Expired int64               // requests dropped after their caller deadline passed
+}
+
+// QueueStats reports the admission queue's depth/wait distributions
+// and the shed/expired totals.
+func (s *Server) QueueStats() QueueStats {
+	return QueueStats{
+		Depth:   s.queueDepth.Summarize(),
+		Wait:    s.queueWait.Summarize(),
+		Shed:    s.shedCount.Load(),
+		Expired: s.expiredCount.Load(),
+	}
+}
+
+// retryAfterHint scales the shed response's backoff hint with queue
+// occupancy: an idle-ish queue suggests one batch linger, a saturated
+// one suggests proportionally more.
+func (s *Server) retryAfterHint() time.Duration {
+	base := s.cfg.MaxWait
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	return base * time.Duration(1+len(s.admitCh)/s.cfg.MaxBatch)
+}
+
 // ResetActivityStats zeroes the disk statistics and the batch-size
 // distribution, typically after populate/warm-up so the reported
 // writesets-per-fsync reflects steady state.
 func (s *Server) ResetActivityStats() {
 	s.disk.ResetStats()
 	s.batchSizes.Reset()
+	s.queueDepth.Reset()
+	s.queueWait.Reset()
+	s.shedCount.Store(0)
+	s.expiredCount.Store(0)
 }
 
 // SetAbortRate changes the injected abort rate at runtime (Fig 14
@@ -221,6 +287,17 @@ func (s *Server) SetAbortRate(r float64) {
 // Handle is the transport handler for this node: it serves both the
 // certification API and the group's replication traffic.
 func (s *Server) Handle(method string, req []byte) ([]byte, error) {
+	// A stopped server simulates a crashed process across the whole
+	// API, not just the replication layer. Without this a deposed
+	// zombie — whose paxos node refuses peer RPCs and so never learns
+	// the new term — would keep serving Pull from its frozen state as
+	// if it still led, feeding replicas empty answers instead of the
+	// failover error that sends them to the live leader.
+	select {
+	case <-s.stopCh:
+		return nil, paxos.ErrStopped
+	default:
+	}
 	switch {
 	case strings.HasPrefix(method, "paxos."):
 		return s.node.HandleRPC(method, req)

@@ -104,9 +104,10 @@ type Injector struct {
 	rules   Rules
 	enabled atomic.Bool
 
-	mu    sync.Mutex
-	links map[string]*link
-	cuts  map[string]struct{}
+	mu        sync.Mutex
+	links     map[string]*link
+	cuts      map[string]struct{}
+	linkRules map[string]Rules
 
 	messages     atomic.Int64
 	droppedReqs  atomic.Int64
@@ -119,10 +120,11 @@ type Injector struct {
 // NewInjector builds an injector. It starts disabled; Enable arms it.
 func NewInjector(seed int64, rules Rules) *Injector {
 	return &Injector{
-		seed:  seed,
-		rules: rules,
-		links: make(map[string]*link),
-		cuts:  make(map[string]struct{}),
+		seed:      seed,
+		rules:     rules,
+		links:     make(map[string]*link),
+		cuts:      make(map[string]struct{}),
+		linkRules: make(map[string]Rules),
 	}
 }
 
@@ -201,6 +203,44 @@ func (in *Injector) HealAll() {
 	in.mu.Unlock()
 }
 
+// SetLinkRules overrides the fault rules for the directed link
+// from → to, modelling a gray failure: one slow or lossy channel
+// while the rest of the mesh stays healthy (the global rules). The
+// override changes only how draws are interpreted — every message
+// still consumes exactly four PRNG draws — so each link's decision
+// stream remains a pure function of (seed, link name) and a gray run
+// replays from its seed exactly like a uniform one.
+func (in *Injector) SetLinkRules(from, to string, r Rules) {
+	in.mu.Lock()
+	in.linkRules[linkKey(from, to)] = r
+	in.mu.Unlock()
+}
+
+// SlowLink is a SetLinkRules convenience: every message on from → to
+// is delayed by a uniform [0, maxDelay) pause, nothing is lost.
+func (in *Injector) SlowLink(from, to string, maxDelay time.Duration) {
+	in.SetLinkRules(from, to, Rules{DelayProb: 1, MaxDelay: maxDelay})
+}
+
+// ClearLinkRules removes a per-link override; the link reverts to the
+// injector's global rules.
+func (in *Injector) ClearLinkRules(from, to string) {
+	in.mu.Lock()
+	delete(in.linkRules, linkKey(from, to))
+	in.mu.Unlock()
+}
+
+// rulesFor resolves the rules governing a link: its override if one
+// is set, the global rules otherwise.
+func (in *Injector) rulesFor(key string) Rules {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r, ok := in.linkRules[key]; ok {
+		return r
+	}
+	return in.rules
+}
+
 func (in *Injector) isCut(from, to string) bool {
 	in.mu.Lock()
 	_, cut := in.cuts[linkKey(from, to)]
@@ -234,8 +274,9 @@ func (in *Injector) Call(from, to, method string, req []byte, deliver func() ([]
 	in.messages.Add(1)
 	key := linkKey(from, to)
 	l := in.link(key)
+	rules := in.rulesFor(key)
 	l.mu.Lock()
-	d := sample(l.rng, in.rules)
+	d := sample(l.rng, rules)
 	l.mu.Unlock()
 
 	if d.delay > 0 {
@@ -274,8 +315,9 @@ func (in *Injector) PlanDigest(links []string, perLink int) uint64 {
 	for _, key := range sorted {
 		h.Write([]byte(key))
 		rng := rand.New(rand.NewSource(linkSeed(in.seed, key)))
+		rules := in.rulesFor(key)
 		for i := 0; i < perLink; i++ {
-			d := sample(rng, in.rules)
+			d := sample(rng, rules)
 			var b [4]byte
 			if d.dropReq {
 				b[0] = 1

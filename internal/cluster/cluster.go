@@ -43,6 +43,12 @@ type Config struct {
 	// certification pipeline (see certifier.Config.MaxBatch/MaxWait).
 	CertMaxBatch int
 	CertMaxWait  time.Duration
+	// CertAdmitTimeout/CertQueueDepth tune the certifier's admission
+	// control (see certifier.Config.AdmitTimeout/QueueDepth): requests
+	// that would wait longer than the budget are shed with an
+	// OVERLOADED retry-after hint instead of queueing unboundedly.
+	CertAdmitTimeout time.Duration
+	CertQueueDepth   int
 	// IOProfile is the physical disk model shared by all nodes.
 	IOProfile simdisk.Profile
 	// DedicatedIO puts database files on ramdisk so the disk serves
@@ -158,6 +164,8 @@ func New(cfg Config) (*Cluster, error) {
 			AbortRate:         cfg.AbortRate,
 			MaxBatch:          cfg.CertMaxBatch,
 			MaxWait:           cfg.CertMaxWait,
+			AdmitTimeout:      cfg.CertAdmitTimeout,
+			QueueDepth:        cfg.CertQueueDepth,
 			PaxosCallHook:     c.paxosHookFor(i),
 			ElectionTimeout:   200 * time.Millisecond,
 			Seed:              cfg.Seed + int64(i),
@@ -519,6 +527,8 @@ func (c *Cluster) RecoverCertifier(i int, img []byte) error {
 		AbortRate:         c.cfg.AbortRate,
 		MaxBatch:          c.cfg.CertMaxBatch,
 		MaxWait:           c.cfg.CertMaxWait,
+		AdmitTimeout:      c.cfg.CertAdmitTimeout,
+		QueueDepth:        c.cfg.CertQueueDepth,
 		PaxosCallHook:     c.paxosHookFor(i),
 		ElectionTimeout:   200 * time.Millisecond,
 		Seed:              c.cfg.Seed + int64(i) + 1000,

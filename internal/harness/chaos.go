@@ -57,6 +57,26 @@ type chaosPlan struct {
 	window     time.Duration
 	events     []faultEvent
 	links      []string
+
+	// Gray-failure extensions (see gray.go): per-link rule overrides —
+	// slow or lossy victim links in an otherwise healthy mesh — and
+	// the per-op stall a "slow-disk" event injects through the
+	// victim replica's simdisk hooks.
+	gray      []grayOverride
+	diskDelay time.Duration
+}
+
+// grayOverride is one victim link's degraded rules.
+type grayOverride struct {
+	From, To string
+	Rules    chaos.Rules
+}
+
+// applyGray installs the plan's per-link overrides on an injector.
+func (p chaosPlan) applyGray(inj *chaos.Injector) {
+	for _, g := range p.gray {
+		inj.SetLinkRules(g.From, g.To, g.Rules)
+	}
 }
 
 // certNodeName names flat certifier node i under the plan's topology.
@@ -177,7 +197,14 @@ func (p chaosPlan) Digest() uint64 {
 	for _, e := range p.events {
 		fmt.Fprintf(h, "%d %s n%d %s->%s %d\n", e.At, e.Kind, e.Node, e.From, e.To, e.Dur)
 	}
+	for _, g := range p.gray {
+		fmt.Fprintf(h, "gray %s->%s %+v\n", g.From, g.To, g.Rules)
+	}
+	if p.diskDelay > 0 {
+		fmt.Fprintf(h, "diskDelay=%d\n", p.diskDelay)
+	}
 	inj := chaos.NewInjector(p.seed, p.rules)
+	p.applyGray(inj)
 	fmt.Fprintf(h, "plan=%x\n", inj.PlanDigest(p.links, 512))
 	return h.Sum64()
 }
@@ -249,6 +276,7 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 	defer c.Close()
 
 	inj := chaos.NewInjector(seed, plan.rules)
+	plan.applyGray(inj)
 	c.Fabric().SetInterposer(inj)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -414,6 +442,25 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 			if r := c.Replica(ev.Node); r != nil {
 				r.DumpNow() // best effort; a concurrent crash may refuse it
 			}
+		case "slow-disk":
+			// Gray failure: the replica stays up and keeps answering,
+			// but every disk op stalls — the node is slow, not dead.
+			r := c.Replica(ev.Node)
+			if r == nil {
+				continue
+			}
+			delay := plan.diskDelay
+			hook := func(simdisk.Op, int, int) { time.Sleep(delay) }
+			r.DataDisk().SetHook(hook)
+			r.LogDisk().SetHook(hook)
+			drills.Add(1)
+			time.AfterFunc(ev.Dur, func() {
+				defer drills.Done()
+				if r := c.Replica(ev.Node); r != nil {
+					r.DataDisk().SetHook(nil)
+					r.LogDisk().SetHook(nil)
+				}
+			})
 		}
 	}
 	if d := time.Until(start.Add(window)); d > 0 {

@@ -27,7 +27,19 @@ func TestFig4ShapeTashkentBeatsBase(t *testing.T) {
 		t.Skip("figure-shape timing ratios are not meaningful under the race detector")
 	}
 	var buf bytes.Buffer
-	series, err := Fig4and5(fastOptions(&buf))
+	o := fastOptions(&buf)
+	// This test asserts throughput *ratios* between the modes, and the
+	// paper derives those ratios from fsync cost (its testbed is
+	// disk-bound at 8ms). At scale 20 the 400µs fsync leaves the modes
+	// CPU-bound on a small shared box, where scheduler noise — not the
+	// commit strategy — sets the ratio; 4ms fsyncs pin Base to its
+	// serial-fsync ceiling so the shape survives noisy-neighbor CPU
+	// steal, and the deeper closed loop gives the certifier enough
+	// concurrent commits to form the shared-fsync batches the Tashkent
+	// advantage comes from.
+	o.Scale = 2
+	o.ClientsPerReplica = 8
+	series, err := Fig4and5(o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -69,6 +69,15 @@ func (l *Latency) nextRand() uint64 {
 	return z ^ (z >> 31)
 }
 
+// Reset clears the recorder for a fresh measurement interval, keeping
+// the reservoir capacity.
+func (l *Latency) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count, l.sum, l.min, l.max, l.seen = 0, 0, 0, 0, 0
+	l.samples = l.samples[:0]
+}
+
 // Count returns the number of samples observed.
 func (l *Latency) Count() int64 {
 	l.mu.Lock()

@@ -1,0 +1,177 @@
+package partition
+
+import (
+	"testing"
+)
+
+// TestAssemblerSingleGroup: with one group the merged order must be
+// exactly the group's log order — merged versions equal log indexes —
+// and the accessors track the trivial topology.
+func TestAssemblerSingleGroup(t *testing.T) {
+	a := NewAssembler(1)
+	for i := uint64(1); i <= 5; i++ {
+		if err := a.Offer(0, i, rawData(0, ws("k"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acts := drain(a)
+	if len(acts) != 5 {
+		t.Fatalf("emitted %d of 5 actions", len(acts))
+	}
+	for i, act := range acts {
+		want := uint64(i + 1)
+		if act.MV != want || act.Index != want || act.Group != 0 {
+			t.Fatalf("action %d = {MV %d, group %d, index %d}; want identity merge", i, act.MV, act.Group, act.Index)
+		}
+	}
+	if a.MergedVersion() != 5 || a.Frontier(0) != 5 {
+		t.Fatalf("merged %d frontier %d; want 5/5", a.MergedVersion(), a.Frontier(0))
+	}
+	if v := a.Vector(); len(v) != 1 || v[0] != 5 {
+		t.Fatalf("vector %v; want [5]", v)
+	}
+	// The drain's failing Next must leave Blocking pointing at the
+	// group's next unreceived index.
+	if g, idx := a.Blocking(); g != 0 || idx != 6 {
+		t.Fatalf("blocking on group %d index %d; want 0/6", g, idx)
+	}
+	if a.Pending() {
+		t.Fatal("nothing buffered, but Pending reports work")
+	}
+}
+
+// TestAssemblerEmptyGroupStallsMerge: a group that has never committed
+// anything stalls the merge at its first index — the merge cannot skip
+// a silent group without risking divergence — and Blocking names it so
+// the replica knows which stream to pull.
+func TestAssemblerEmptyGroupStallsMerge(t *testing.T) {
+	a := NewAssembler(2)
+	if err := a.Offer(0, 1, rawData(0, ws("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offer(0, 2, rawData(0, ws("b"))); err != nil {
+		t.Fatal(err)
+	}
+	// Both groups are at next index 1, so the tie breaks to group 0
+	// and its first entry emits; then group 1 (still at 1) is strictly
+	// smallest and the silent group blocks everything after.
+	acts := drain(a)
+	if len(acts) != 1 || acts[0].Group != 0 || acts[0].Index != 1 {
+		t.Fatalf("drain emitted %+v; want exactly group 0 index 1", acts)
+	}
+	if g, idx := a.Blocking(); g != 1 || idx != 1 {
+		t.Fatalf("blocking on group %d index %d; want the empty group at 1/1", g, idx)
+	}
+	if !a.Pending() {
+		t.Fatal("group 0 index 2 is buffered, but Pending reports none")
+	}
+	if a.Frontier(1) != 0 {
+		t.Fatalf("empty group frontier %d; want 0", a.Frontier(1))
+	}
+	// Feeding the empty group releases the backlog in merge order:
+	// (1,g1) then (2,g0).
+	if err := a.Offer(1, 1, rawData(1, ws("c"))); err != nil {
+		t.Fatal(err)
+	}
+	acts = drain(a)
+	if len(acts) != 2 || acts[0].Group != 1 || acts[1].Group != 0 || acts[1].Index != 2 {
+		t.Fatalf("post-fill drain %+v; want group 1 index 1 then group 0 index 2", acts)
+	}
+}
+
+// TestAssemblerFarAheadFrontier: entries arriving far ahead of the
+// contiguous prefix buffer without advancing the frontier or the
+// merge; filling the gap snaps the frontier forward and emits the
+// whole run in order.
+func TestAssemblerFarAheadFrontier(t *testing.T) {
+	a := NewAssembler(2)
+	for i := uint64(2); i <= 5; i++ {
+		if err := a.Offer(0, i, rawData(0, ws("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Frontier(0) != 0 {
+		t.Fatalf("frontier %d with index 1 missing; want 0", a.Frontier(0))
+	}
+	if acts := drain(a); len(acts) != 0 {
+		t.Fatalf("merge emitted %d actions across a gap", len(acts))
+	}
+	if g, idx := a.Blocking(); g != 0 || idx != 1 {
+		t.Fatalf("blocking on group %d index %d; want the gap at 0/1", g, idx)
+	}
+	// Keep group 1 ahead of group 0 so the post-fill drain must
+	// interleave by (index, group), not emit one group wholesale.
+	if err := a.Offer(1, 1, rawData(1, ws("y"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offer(1, 2, rawData(1, ws("z"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offer(0, 1, rawData(0, ws("w"))); err != nil {
+		t.Fatal(err)
+	}
+	if a.Frontier(0) != 5 {
+		t.Fatalf("frontier %d after filling the gap; want 5", a.Frontier(0))
+	}
+	acts := drain(a)
+	// The merge interleaves by (index, group) and must NOT run group
+	// 0's far-ahead tail past group 1: after (0,3) the smallest next
+	// pair is group 1 at 3, so indexes 4-5 stay buffered.
+	wantOrder := []struct {
+		g   int
+		idx uint64
+	}{{0, 1}, {1, 1}, {0, 2}, {1, 2}, {0, 3}}
+	if len(acts) != len(wantOrder) {
+		t.Fatalf("drained %d actions; want %d", len(acts), len(wantOrder))
+	}
+	for i, w := range wantOrder {
+		if acts[i].Group != w.g || acts[i].Index != w.idx {
+			t.Fatalf("action %d = group %d index %d; want group %d index %d",
+				i, acts[i].Group, acts[i].Index, w.g, w.idx)
+		}
+		if acts[i].MV != uint64(i+1) {
+			t.Fatalf("action %d announced MV %d; want dense %d", i, acts[i].MV, i+1)
+		}
+	}
+	if g, idx := a.Blocking(); g != 1 || idx != 3 {
+		t.Fatalf("blocking on group %d index %d; want 1/3", g, idx)
+	}
+	if !a.Pending() {
+		t.Fatal("group 0's far-ahead tail is buffered, but Pending reports none")
+	}
+}
+
+// TestAssemblerOfferEdges: duplicate and already-emitted offers are
+// idempotent no-ops, and out-of-range groups are rejected.
+func TestAssemblerOfferEdges(t *testing.T) {
+	a := NewAssembler(2)
+	if err := a.Offer(0, 1, rawData(0, ws("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offer(0, 1, rawData(0, ws("DIFFERENT"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Offer(1, 1, rawData(1, ws("b"))); err != nil {
+		t.Fatal(err)
+	}
+	acts := drain(a)
+	if len(acts) != 2 {
+		t.Fatalf("drained %d actions; want 2 (duplicate must not double-emit)", len(acts))
+	}
+	if acts[0].WS == nil || len(acts[0].WS.Ops) != 1 || acts[0].WS.Ops[0].Key != "a" {
+		t.Fatalf("duplicate offer replaced the first-received entry: %+v", acts[0].WS)
+	}
+	// Re-offering an emitted index is ignored, not re-buffered.
+	if err := a.Offer(0, 1, rawData(0, ws("late"))); err != nil {
+		t.Fatal(err)
+	}
+	if a.Pending() {
+		t.Fatal("already-emitted re-offer was buffered")
+	}
+	if err := a.Offer(2, 1, rawData(0, ws("x"))); err == nil {
+		t.Fatal("offer to out-of-range group succeeded")
+	}
+	if err := a.Offer(-1, 1, rawData(0, ws("x"))); err == nil {
+		t.Fatal("offer to negative group succeeded")
+	}
+}

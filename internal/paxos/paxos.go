@@ -124,6 +124,7 @@ type Node struct {
 	nextIndex   map[int]uint64
 	inflight    map[int]bool
 	lastHeard   time.Time
+	lastAck     map[int]time.Time // leader: last append answer per peer (check-quorum)
 	stopped     bool
 
 	wal    *wal.WAL
@@ -445,6 +446,25 @@ func boolToInt(b bool) int {
 // majority returns the quorum size for the group (peers + self).
 func (n *Node) majority() int { return (len(n.cfg.Peers)+1)/2 + 1 }
 
+// quorumLostLocked reports whether a majority of peers have stopped
+// answering appends for several election timeouts. The window is wide
+// enough that ordinary heartbeat cadence (ElectionTimeout/3) refreshes
+// every live peer many times over, so it only fires on real loss.
+// Single-node groups have no peers and never step down.
+func (n *Node) quorumLostLocked() bool {
+	if len(n.cfg.Peers) == 0 {
+		return false
+	}
+	window := 3 * n.cfg.ElectionTimeout
+	live := 1 // self
+	for id := range n.cfg.Peers {
+		if time.Since(n.lastAck[id]) <= window {
+			live++
+		}
+	}
+	return live < n.majority()
+}
+
 // applyLoop delivers committed entries to cfg.Apply in order.
 func (n *Node) applyLoop() {
 	defer n.wg.Done()
@@ -500,6 +520,17 @@ func (n *Node) timerLoop() {
 		n.mu.Lock()
 		switch n.role {
 		case Leader:
+			if n.quorumLostLocked() {
+				// Check-quorum: a leader that cannot reach a majority
+				// will never commit again; stepping down releases every
+				// proposal blocked in WaitCommitted with ErrDeposed so
+				// callers fail over (or degrade) instead of hanging.
+				n.role = Follower
+				n.leaderHint = -1
+				n.cond.Broadcast()
+				n.mu.Unlock()
+				continue
+			}
 			n.mu.Unlock()
 			n.broadcastAppend()
 		case Follower, Candidate:

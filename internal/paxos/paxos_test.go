@@ -344,9 +344,17 @@ func TestMinorityCannotCommit(t *testing.T) {
 	go func() { done <- g.nodes[ld].WaitCommitted(idx, term) }()
 	select {
 	case err := <-done:
-		t.Fatalf("minority leader committed: %v", err)
-	case <-time.After(300 * time.Millisecond):
-		// expected: no commit
+		// Check-quorum: the isolated leader steps down and releases
+		// the waiter with ErrDeposed instead of committing (or
+		// blocking the caller forever).
+		if err == nil {
+			t.Fatal("minority leader committed")
+		}
+		if !errors.Is(err, ErrDeposed) {
+			t.Fatalf("waiter released with %v; want ErrDeposed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("minority leader never stepped down; proposal still blocked")
 	}
 	if g.nodes[ld].CommitIndex() >= idx {
 		t.Error("commit index advanced without majority")

@@ -3,6 +3,7 @@ package paxos
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tashkent/internal/transport"
 )
@@ -68,6 +69,15 @@ const (
 // HandleRPC dispatches a transport request to the protocol. The owner
 // (the certifier server) routes all "paxos.*" methods here.
 func (n *Node) HandleRPC(method string, req []byte) ([]byte, error) {
+	// A stopped node simulates a crashed process: it must not answer.
+	// Answering would let a quorum-less leader keep counting this peer
+	// as live (check-quorum) or even ack entries the "crash" discarded.
+	n.mu.Lock()
+	stopped := n.stopped
+	n.mu.Unlock()
+	if stopped {
+		return nil, ErrStopped
+	}
 	switch method {
 	case MethodVote:
 		var args voteArgs
@@ -393,9 +403,12 @@ func (n *Node) becomeLeader(term uint64) {
 	if n.nextIndex == nil {
 		n.nextIndex = make(map[int]uint64)
 	}
+	n.lastAck = make(map[int]time.Time)
+	now := time.Now()
 	for id := range n.cfg.Peers {
 		n.nextIndex[id] = uint64(len(n.log)) + 1
 		n.matchIndex[id] = 0
+		n.lastAck[id] = now // fresh grant: give every peer a full check-quorum window
 	}
 	// Our whole local log is stable (it was recovered from / written
 	// through the WAL) except volatile leader appends, which track via
@@ -486,6 +499,9 @@ func (n *Node) replicateTo(peer int) {
 		}
 
 		n.mu.Lock()
+		if n.lastAck != nil {
+			n.lastAck[peer] = time.Now() // any answer counts for check-quorum
+		}
 		if resp.Term > n.term {
 			n.term = resp.Term
 			n.role = Follower

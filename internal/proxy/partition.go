@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -538,30 +539,35 @@ func (p *Proxy) waitOwn(t *Tx, register func() (uint64, bool, *ownWait)) (uint64
 }
 
 // commitPartitioned is the partitioned-mode commit strategy.
-func (p *Proxy) commitPartitioned(t *Tx, ws *core.Writeset) error {
+func (p *Proxy) commitPartitioned(ctx context.Context, t *Tx, ws *core.Writeset) error {
 	parts := p.part.topo.Map.Split(ws)
 	if len(parts) == 1 {
-		return p.commitSinglePartition(t, ws, parts[0].PID)
+		return p.commitSinglePartition(ctx, t, ws, parts[0].PID)
 	}
-	return p.commitCrossPartition(t, ws, parts)
+	return p.commitCrossPartition(ctx, t, ws, parts)
 }
 
 // commitSinglePartition is the fast path: one certification round
 // against the owning group, then wait for the entry's merged apply.
-func (p *Proxy) commitSinglePartition(t *Tx, ws *core.Writeset, g int) error {
+// ctx bounds the certification round trip; a cancellation mid-certify
+// leaves the outcome unknown to the caller, and the merger installs
+// the writeset from the group's stream if it did commit (the entry is
+// addressed by (group, index), so no sequence hole results).
+func (p *Proxy) commitSinglePartition(ctx context.Context, t *Tx, ws *core.Writeset, g int) error {
 	ps := p.part
 	ps.mu.Lock()
 	frontier := ps.asm.Frontier(g)
 	ps.mu.Unlock()
-	resp, err := ps.topo.Groups[g].Certify(certifier.Request{
+	resp, err := ps.topo.Groups[g].CertifyCtx(ctx, certifier.Request{
 		Origin:         p.cfg.ReplicaID,
 		StartVersion:   t.startVec[g],
 		ReplicaVersion: frontier,
 		WSBytes:        ws.Encode(nil),
+		Deadline:       deadlineNano(ctx),
 	})
 	if err != nil {
 		t.inner.Abort()
-		return fmt.Errorf("proxy: certification: %w", err)
+		return certError(err)
 	}
 	p.ingest(g, resp.Remote)
 	if !resp.Committed {
@@ -599,7 +605,7 @@ func (p *Proxy) commitSinglePartition(t *Tx, ws *core.Writeset, g int) error {
 // in every involved group in ascending partition order (the canonical
 // lock order), then resolve-commit each; replicas apply the union of
 // the parts atomically at the first commit marker's merged position.
-func (p *Proxy) commitCrossPartition(t *Tx, ws *core.Writeset, parts []partition.Part) error {
+func (p *Proxy) commitCrossPartition(ctx context.Context, t *Tx, ws *core.Writeset, parts []partition.Part) error {
 	ps := p.part
 	gid := uint64(p.cfg.ReplicaID)<<40 | (gidCounter.Add(1) & (1<<40 - 1))
 	involved := make([]int, len(parts))
@@ -607,9 +613,14 @@ func (p *Proxy) commitCrossPartition(t *Tx, ws *core.Writeset, parts []partition
 		involved[i] = part.PID
 	}
 
+	// ctx is honored through phase 1 only: a cancellation while
+	// preparing aborts the whole transaction (the abort decision is
+	// delivered by the detached resolver, so no group's locks leak).
+	// Once every prepare has acknowledged, the decision is commit and
+	// the remaining work completes regardless of ctx.
 	prepared := make([]int, 0, len(parts))
 	for _, part := range parts {
-		resp, err := ps.topo.Groups[part.PID].Prepare(certifier.PrepareRequest{
+		resp, err := ps.topo.Groups[part.PID].PrepareCtx(ctx, certifier.PrepareRequest{
 			GID:          gid,
 			Origin:       p.cfg.ReplicaID,
 			StartVersion: t.startVec[part.PID],
@@ -624,7 +635,7 @@ func (p *Proxy) commitCrossPartition(t *Tx, ws *core.Writeset, parts []partition
 			p.resolveDetached(gid, append(prepared, part.PID), false)
 			t.inner.Abort()
 			if err != nil {
-				return fmt.Errorf("proxy: prepare in partition %d: %w", part.PID, err)
+				return fmt.Errorf("proxy: prepare in partition %d: %w", part.PID, certError(err))
 			}
 			p.addStat(func(st *Stats) { st.CertAborts++; st.CrossPartAborts++ })
 			return ErrCertificationAbort
@@ -685,11 +696,22 @@ func (p *Proxy) resolveAll(gid uint64, pids []int, commit bool) bool {
 // resolveDetached completes the decision protocol in the background:
 // it retries until every group has the marker. It touches only
 // certifier clients (never the store), so it is safe across a
-// simulated replica crash; it stops only when the decision landed
-// everywhere or the process ends.
+// simulated replica crash; it stops when the decision landed
+// everywhere or the proxy shuts down. On shutdown an unresolved
+// decision leaves the prepared groups' locks held — later conflicting
+// certifications abort until a restarted coordinator re-resolves,
+// which is legal (aborts, never a safety violation).
 func (p *Proxy) resolveDetached(gid uint64, pids []int, commit bool) {
 	groups := p.part.topo.Groups
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
 	go func() {
+		defer p.wg.Done()
 		backoff := 5 * time.Millisecond
 		pending := append([]int(nil), pids...)
 		for len(pending) > 0 {
@@ -703,7 +725,11 @@ func (p *Proxy) resolveDetached(gid uint64, pids []int, commit bool) {
 			if len(pending) == 0 {
 				return
 			}
-			time.Sleep(backoff)
+			select {
+			case <-p.stopCh:
+				return
+			case <-time.After(backoff):
+			}
 			if backoff < 500*time.Millisecond {
 				backoff *= 2
 			}

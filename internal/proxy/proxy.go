@@ -71,6 +71,32 @@ var ErrCertificationAbort = errors.New("proxy: transaction aborted by certificat
 // ErrProxyClosed reports use of a closed proxy.
 var ErrProxyClosed = errors.New("proxy: closed")
 
+// ErrReadOnlyDegraded reports that the certifier tier is unreachable
+// (its group breaker is open) and the replica has degraded to
+// read-only service: snapshot reads keep being served at the last
+// merged version, while update commits fail fast with this error
+// instead of hanging for the certifier client's full retry budget.
+// Errors carrying it also match certifier.ErrDegraded.
+var ErrReadOnlyDegraded = errors.New("proxy: certifier unreachable, serving reads only at last merged version")
+
+// certError wraps a certification failure, promoting a degraded
+// certifier group into the typed read-only-degradation error.
+func certError(err error) error {
+	if errors.Is(err, certifier.ErrDegraded) {
+		return fmt.Errorf("%w: %w", ErrReadOnlyDegraded, err)
+	}
+	return fmt.Errorf("proxy: certification: %w", err)
+}
+
+// deadlineNano converts ctx's deadline to the wire representation
+// (UnixNano, 0 = none).
+func deadlineNano(ctx context.Context) int64 {
+	if d, ok := ctx.Deadline(); ok {
+		return d.UnixNano()
+	}
+	return 0
+}
+
 // Stats is a snapshot of proxy activity.
 type Stats struct {
 	Commits             int64
@@ -387,7 +413,7 @@ func (t *Tx) CommitCtx(ctx context.Context) error {
 		// (group, index) and ordered by the deterministic merge.
 		p.markCommitting(t.inner.ID(), true)
 		defer p.markCommitting(t.inner.ID(), false)
-		return p.commitPartitioned(t, ws)
+		return p.commitPartitioned(ctx, t, ws)
 	}
 
 	// Local certification (§6.2): a conflict with an already-received
@@ -406,6 +432,7 @@ func (t *Tx) CommitCtx(ctx context.Context) error {
 		ReplicaVersion: p.ReplicaVersion(),
 		WSBytes:        ws.Encode(nil),
 		NeedSafeBack:   p.cfg.Mode == TashkentAPI,
+		Deadline:       deadlineNano(ctx),
 	}
 	p.markCommitting(t.inner.ID(), true)
 	defer p.markCommitting(t.inner.ID(), false)
@@ -421,6 +448,11 @@ func (t *Tx) CommitCtx(ctx context.Context) error {
 	}
 }
 
+// certifyGrace is how far past the caller's deadline the detached
+// certification RPC keeps trying to learn the real decision before
+// giving up (the caller has already been answered with ctx.Err()).
+const certifyGrace = 500 * time.Millisecond
+
 // certify runs the certification round trip, honoring ctx. On
 // cancellation the local handle is aborted and the eventual response —
 // which may carry a commit decision — is resolved by a detached
@@ -430,9 +462,20 @@ func (p *Proxy) certify(ctx context.Context, t *Tx, req certifier.Request) (cert
 		resp, err := p.cfg.Cert.Certify(req)
 		if err != nil {
 			t.inner.Abort()
-			return resp, fmt.Errorf("proxy: certification: %w", err)
+			return resp, certError(err)
 		}
 		return resp, nil
+	}
+	// The RPC runs on a context of its own: an explicit caller cancel
+	// must not kill the call mid-flight (the decision may exist and the
+	// detached finisher needs it), but a caller deadline bounds it with
+	// a small grace — the server drops the request at the deadline too,
+	// so spinning out the client's full retry budget for a dead caller
+	// would only occupy a failover slot.
+	callCtx := context.Background()
+	cancel := func() {}
+	if d, ok := ctx.Deadline(); ok {
+		callCtx, cancel = context.WithDeadline(context.Background(), d.Add(certifyGrace))
 	}
 	type outcome struct {
 		resp certifier.Response
@@ -440,14 +483,15 @@ func (p *Proxy) certify(ctx context.Context, t *Tx, req certifier.Request) (cert
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		resp, err := p.cfg.Cert.Certify(req)
+		defer cancel()
+		resp, err := p.cfg.Cert.CertifyCtx(callCtx, req)
 		ch <- outcome{resp, err}
 	}()
 	select {
 	case o := <-ch:
 		if o.err != nil {
 			t.inner.Abort()
-			return o.resp, fmt.Errorf("proxy: certification: %w", o.err)
+			return o.resp, certError(o.err)
 		}
 		return o.resp, nil
 	case <-ctx.Done():

@@ -18,7 +18,9 @@ package router
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // View is the cluster snapshot a Policy sees when picking a replica.
@@ -63,6 +65,124 @@ type Counters struct {
 type counterSlot struct {
 	inflight atomic.Int64
 	gen      atomic.Uint64
+	health   health
+}
+
+// Circuit-breaker tuning. A replica is ejected (breaker opens) when,
+// with at least breakerMinSamples observations since it last closed,
+// its error EWMA crosses breakerErrTrip or its latency EWMA exceeds
+// breakerLatFactor times the best healthy peer's (and the absolute
+// floor, which suppresses microsecond-scale noise). After
+// breakerCooldown one half-open probe transaction is admitted; its
+// outcome closes or re-opens the breaker. An unclaimed or lost probe
+// token expires after breakerProbeExpiry so a policy that routed the
+// probe elsewhere cannot wedge the replica open forever.
+const (
+	breakerAlpha       = 0.15
+	breakerMinSamples  = 16
+	breakerErrTrip     = 0.5
+	breakerLatFactor   = 8.0
+	breakerLatFloor    = float64(time.Millisecond) / float64(time.Second)
+	breakerCooldown    = 100 * time.Millisecond
+	breakerProbeExpiry = 4 * breakerCooldown
+)
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// health is one replica's gray-failure score: EWMA latency and error
+// rate plus the breaker state machine. Distinct from the Excluded
+// mechanism, which handles crashed (clean-failure) replicas: a gray
+// replica still answers, just badly, so only its trend betrays it.
+type health struct {
+	mu       sync.Mutex
+	ewmaLat  float64 // seconds
+	ewmaErr  float64 // failure rate in [0,1]
+	samples  int64   // observations since the breaker last closed
+	state    int
+	openedAt time.Time
+	probeOut bool
+	probeAt  time.Time
+}
+
+// admit reports whether the replica may take new transactions, running
+// the open → half-open transition and claiming the single probe token.
+func (h *health) admit() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(h.openedAt) < breakerCooldown {
+			return false
+		}
+		h.state = breakerHalfOpen
+	}
+	// Half-open: one probe at a time.
+	if h.probeOut && time.Since(h.probeAt) < breakerProbeExpiry {
+		return false
+	}
+	h.probeOut = true
+	h.probeAt = time.Now()
+	return true
+}
+
+// observe folds one transaction outcome in. peerLat is the best (lowest)
+// latency EWMA among scoreable peers, 0 when there is none.
+func (h *health) observe(lat time.Duration, failed bool, peerLat float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.probeOut {
+		// Treat the first outcome after a probe was admitted as the
+		// probe's verdict.
+		h.probeOut = false
+		if failed {
+			h.state = breakerOpen
+			h.openedAt = time.Now()
+			return
+		}
+		h.state = breakerClosed
+		h.samples = 0
+		h.ewmaErr = 0
+		h.ewmaLat = lat.Seconds()
+		return
+	}
+	e := 0.0
+	if failed {
+		e = 1.0
+	}
+	if h.samples == 0 {
+		h.ewmaLat = lat.Seconds()
+		h.ewmaErr = e
+	} else {
+		h.ewmaLat += breakerAlpha * (lat.Seconds() - h.ewmaLat)
+		h.ewmaErr += breakerAlpha * (e - h.ewmaErr)
+	}
+	h.samples++
+	if h.state != breakerClosed || h.samples < breakerMinSamples {
+		return
+	}
+	slow := peerLat > 0 && h.ewmaLat > breakerLatFactor*peerLat && h.ewmaLat > breakerLatFloor
+	if h.ewmaErr > breakerErrTrip || slow {
+		h.state = breakerOpen
+		h.openedAt = time.Now()
+	}
+}
+
+// score returns the latency EWMA when this replica is a valid latency
+// baseline (closed, warmed up, mostly error-free).
+func (h *health) score() (float64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != breakerClosed || h.samples < breakerMinSamples || h.ewmaErr > breakerErrTrip {
+		return 0, false
+	}
+	return h.ewmaLat, true
 }
 
 // NewCounters builds a counter set over n replicas.
@@ -91,6 +211,94 @@ func (c *Counters) Reset(i int) {
 	}
 	c.slots[i].gen.Add(1)
 	c.slots[i].inflight.Store(0)
+	// The health history died with the process; the rejoined replica
+	// starts with a clean score.
+	h := &c.slots[i].health
+	h.mu.Lock()
+	h.ewmaLat, h.ewmaErr, h.samples = 0, 0, 0
+	h.state = breakerClosed
+	h.openedAt, h.probeAt = time.Time{}, time.Time{}
+	h.probeOut = false
+	h.mu.Unlock()
+}
+
+// Observe feeds replica i's health score with one finished
+// transaction: its end-to-end latency and whether it failed for a
+// replica-attributable reason (certification aborts, overload shedding
+// and caller cancellations are not the replica's fault and must be
+// reported with failed=false). Sessions call this on every commit and
+// abort; it is what lets the breaker eject a gray replica that still
+// answers, slowly.
+func (c *Counters) Observe(i int, lat time.Duration, failed bool) {
+	if i < 0 || i >= len(c.slots) {
+		return
+	}
+	c.slots[i].health.observe(lat, failed, c.bestPeerLat(i))
+}
+
+// bestPeerLat returns the lowest latency EWMA among scoreable replicas
+// other than i (0 when none qualifies) — the baseline a suspected gray
+// replica is judged against.
+func (c *Counters) bestPeerLat(i int) float64 {
+	best := 0.0
+	for j := range c.slots {
+		if j == i {
+			continue
+		}
+		if lat, ok := c.slots[j].health.score(); ok && (best == 0 || lat < best) {
+			best = lat
+		}
+	}
+	return best
+}
+
+// Health reports replica i's breaker state ("closed", "open" or
+// "half-open"), latency EWMA and error-rate EWMA.
+func (c *Counters) Health(i int) (state string, ewmaLat time.Duration, errRate float64) {
+	if i < 0 || i >= len(c.slots) {
+		return "closed", 0, 0
+	}
+	h := &c.slots[i].health
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case breakerOpen:
+		state = "open"
+	case breakerHalfOpen:
+		state = "half-open"
+	default:
+		state = "closed"
+	}
+	return state, time.Duration(h.ewmaLat * float64(time.Second)), h.ewmaErr
+}
+
+// mergeUnhealthy folds open breakers into the caller's exclusion mask.
+// It fails open: when every replica would be excluded the original mask
+// is returned unchanged — a degraded replica beats none at all.
+func (c *Counters) mergeUnhealthy(excluded []bool) []bool {
+	n := len(c.slots)
+	merged := make([]bool, n)
+	candidates := 0
+	ejected := false
+	for i := 0; i < n; i++ {
+		if excluded != nil && i < len(excluded) && excluded[i] {
+			merged[i] = true
+			continue
+		}
+		if c.slots[i].health.admit() {
+			candidates++
+		} else {
+			merged[i] = true
+			ejected = true
+		}
+	}
+	if !ejected {
+		return excluded
+	}
+	if candidates == 0 {
+		return excluded
+	}
+	return merged
 }
 
 // Balancer fronts a set of replicas for one session: it delegates
@@ -137,7 +345,7 @@ func (b *Balancer) Acquire(readOnly bool, excluded []bool) (int, func()) {
 		N:        n,
 		ReadOnly: readOnly,
 		InFlight: b.counters.Get,
-		Excluded: excluded,
+		Excluded: b.counters.mergeUnhealthy(excluded),
 	})
 	if i < 0 || i >= n {
 		i = 0

@@ -44,11 +44,13 @@ package tashkent
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tashkent/internal/certifier"
 	"tashkent/internal/cluster"
 	"tashkent/internal/proxy"
 	"tashkent/internal/replica"
@@ -79,6 +81,35 @@ var ErrAborted = proxy.ErrCertificationAbort
 // transactions can simply be retried against a fresh snapshot.
 func IsAborted(err error) bool { return workload.IsAbort(err) }
 
+// ErrOverloaded is returned from a commit the certifier shed under
+// admission control. It is retryable — RunTx retries it automatically,
+// honoring the server's retry-after hint as its backoff floor.
+var ErrOverloaded = certifier.ErrOverloaded
+
+// OverloadedError is the concrete shed error: errors.As against it
+// recovers the server's RetryAfter hint (how long the certification
+// queue is expected to take to drain).
+type OverloadedError = certifier.OverloadedError
+
+// ErrDegraded is returned from a commit when the certifier group has
+// lost quorum and the client breaker opened: writes fail fast instead
+// of hanging for the full retry budget. Not retryable by RunTx — the
+// outage is expected to outlast a retry cycle. Snapshot reads keep
+// working throughout (see ErrReadOnlyDegraded).
+var ErrDegraded = certifier.ErrDegraded
+
+// ErrReadOnlyDegraded wraps write failures while a replica is degraded
+// to read-only service: the certifier tier is unreachable, so the
+// replica keeps serving snapshot reads at its last merged version and
+// rejects updates immediately with this error.
+var ErrReadOnlyDegraded = proxy.ErrReadOnlyDegraded
+
+// IsDegraded reports whether an error means the certifier tier is
+// unreachable and the system is in read-only degraded service.
+func IsDegraded(err error) bool {
+	return errors.Is(err, ErrDegraded) || errors.Is(err, ErrReadOnlyDegraded)
+}
+
 // Config configures a database. The zero value of optional fields
 // picks sensible defaults (3 certifiers, instant disks, optimizations
 // on).
@@ -99,6 +130,16 @@ type Config struct {
 	// StalenessBound makes idle replicas pull updates after this long
 	// (default 1 s; 0 keeps the default, negative disables).
 	StalenessBound time.Duration
+	// CertTimeout bounds how long a commit keeps failing over between
+	// certifier nodes before the group is reported unreachable and the
+	// session's degradation breaker starts counting (0 = 10 s).
+	CertTimeout time.Duration
+	// AdmitTimeout is the certifier's admission budget: a commit
+	// request expected to wait longer than this in the certification
+	// queue is shed with ErrOverloaded and a retry-after hint instead
+	// of queueing unboundedly (0 = 1 s default; negative disables
+	// shedding).
+	AdmitTimeout time.Duration
 	// Seed fixes all simulated randomness.
 	Seed int64
 }
@@ -143,6 +184,8 @@ func Start(cfg Config) (*DB, error) {
 		LocalCertification: true,
 		EagerPreCert:       true,
 		StalenessBound:     sb,
+		CertTimeout:        cfg.CertTimeout,
+		CertAdmitTimeout:   cfg.AdmitTimeout,
 		Seed:               cfg.Seed,
 	})
 	if err != nil {
@@ -166,6 +209,11 @@ func (db *DB) Replica(i int) *replica.Replica { return db.c.Replica(i) }
 // Cluster exposes the underlying cluster for advanced orchestration
 // (failure injection, certifier access, convergence helpers).
 func (db *DB) Cluster() *cluster.Cluster { return db.c }
+
+// RouterCounters exposes the shared per-replica routing state —
+// in-flight accounting and circuit-breaker health scores — for harness
+// output and tests.
+func (db *DB) RouterCounters() *router.Counters { return db.counters }
 
 // Converge brings every replica up to the current global version —
 // useful before consistency checks or snapshots.
@@ -333,12 +381,15 @@ func (s *Session) Begin(ctx context.Context, opts ...TxOption) (*Tx, error) {
 			inner, err = s.db.c.Begin(i)
 		}
 		if err == nil {
-			return &Tx{inner: inner, sess: s, replica: i, release: release}, nil
+			return &Tx{inner: inner, sess: s, replica: i, release: release, started: time.Now()}, nil
 		}
 		release()
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		// A replica that cannot even open a transaction is a failure
+		// signal for its health score as well as for this attempt.
+		s.db.counters.Observe(i, 0, true)
 		lastErr = err
 		if excluded == nil {
 			excluded = make([]bool, n)
@@ -380,6 +431,16 @@ func (s *Session) RunTx(ctx context.Context, fn func(*Tx) error, opts ...TxOptio
 			return nil
 		}
 		if !IsAborted(err) {
+			if ra, ok := certifier.RetryAfter(err); ok {
+				// Load shed by the certifier: retryable, but never
+				// faster than the server's retry-after hint — hammering
+				// an overloaded certifier is how goodput collapses.
+				if ra > backoff {
+					backoff = ra
+				}
+				lastErr = err
+				continue
+			}
 			return err
 		}
 		lastErr = err
@@ -438,6 +499,7 @@ type Tx struct {
 	sess    *Session
 	replica int
 	release func()
+	started time.Time
 	done    atomic.Bool
 }
 
@@ -490,10 +552,27 @@ func (t *Tx) Delete(table, key string) error {
 	return t.inner.Delete(table, key)
 }
 
+// observeOutcome feeds the shared router health score with this
+// transaction's end-to-end latency. Only replica-attributable failures
+// count against the replica: certification aborts are workload
+// contention, overload/degradation is the certifier tier's state, and
+// a cancellation is the caller's doing — ejecting a healthy replica
+// for any of those would amplify the incident instead of containing
+// it.
+func (t *Tx) observeOutcome(ctx context.Context, err error) {
+	if t.started.IsZero() || t.done.Load() {
+		return
+	}
+	failed := err != nil && !IsAborted(err) && !IsDegraded(err) &&
+		!errors.Is(err, ErrOverloaded) && (ctx == nil || ctx.Err() == nil)
+	t.sess.db.counters.Observe(t.replica, time.Since(t.started), failed)
+}
+
 // Abort rolls the transaction back. The session still observes the
 // snapshot version, keeping reads monotonic.
 func (t *Tx) Abort() error {
 	err := t.inner.Abort()
+	t.observeOutcome(nil, nil)
 	t.finish()
 	return err
 }
@@ -505,6 +584,7 @@ func (t *Tx) Abort() error {
 // writeset), and the proxy resolves it in the background.
 func (t *Tx) Commit(ctx context.Context) error {
 	err := t.inner.CommitCtx(ctx)
+	t.observeOutcome(ctx, err)
 	t.finish()
 	return err
 }
@@ -522,6 +602,15 @@ func (t *Tx) CommitAsync(ctx context.Context) <-chan error {
 // CommitVersion returns the transaction's position in the global
 // commit order (zero until a successful Commit).
 func (t *Tx) CommitVersion() uint64 { return t.inner.CommitVersion() }
+
+// SnapshotVersion returns the global version this transaction's
+// snapshot was taken at.
+func (t *Tx) SnapshotVersion() uint64 { return t.inner.SnapshotVersion() }
+
+// ObservedVersion returns the freshest version the replica had applied
+// when the snapshot was taken — with SnapshotVersion, the staleness
+// window the chaos checker's SI invariant verifies reads against.
+func (t *Tx) ObservedVersion() uint64 { return t.inner.ObservedVersion() }
 
 // --- Deprecated pre-session API ---
 
