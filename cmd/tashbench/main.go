@@ -25,7 +25,12 @@
 // path), partitions (certifier-group sweep: update-heavy
 // certification throughput vs keyspace partition count at a fixed
 // replica count — the first value of -replicas — with per-group
-// batching and disk-utilization breakdown), chaos (seeded
+// batching and disk-utilization breakdown), applyscale (parallel
+// dependency-tracked writeset apply: worker sweep over a pre-labeled
+// disjoint stream vs the serial-gate baseline, a zipfian hot-key
+// conflicted stream, and apply-lag profiling under a 4-group
+// partitioned merged stream — the experiment behind BENCH_apply.json),
+// chaos (seeded
 // deterministic fault injection — partitions,
 // drops, duplicates, reorders, replica and certifier crash-restarts —
 // with a machine-checked safety-invariant verdict per seed; -seed
@@ -52,7 +57,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|partitions|chaos|gray|overload|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|partitions|applyscale|chaos|gray|overload|all")
 		scale    = flag.Int("scale", 10, "divide paper disk latencies by this factor (1 = full 8ms fsyncs)")
 		replicas = flag.String("replicas", "1,2,4,8,12,15", "comma-separated replica counts to sweep")
 		clients  = flag.Int("clients", 10, "closed-loop clients per replica")
@@ -123,6 +128,14 @@ func main() {
 			_, err := harness.RunPartitionsExperiment(parts, counts[0], opt)
 			return err
 		},
+		"applyscale": func() error {
+			res, err := harness.RunApplyScaleExperiment(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stdout, "\napplyscale: disjoint speedup at 8 workers = %.2fx over the serial gate\n", res.Speedup8)
+			return nil
+		},
 		"chaos": func() error {
 			if *chaosSeeds < 1 {
 				*chaosSeeds = 1
@@ -161,7 +174,7 @@ func main() {
 		},
 		"overload": func() error { _, err := harness.RunOverloadExperiment(opt); return err },
 	}
-	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale", "partitions", "chaos", "gray", "overload"}
+	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale", "partitions", "applyscale", "chaos", "gray", "overload"}
 
 	if *exp == "all" {
 		for _, name := range order {

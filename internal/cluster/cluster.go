@@ -81,6 +81,9 @@ type Config struct {
 	LocalCertification bool
 	EagerPreCert       bool
 	StalenessBound     time.Duration
+	// ApplyWorkers enables the parallel dependency-tracked remote
+	// applier on every replica (see proxy.Config.ApplyWorkers).
+	ApplyWorkers int
 	// Seed makes disk jitter and elections deterministic.
 	Seed int64
 }
@@ -216,6 +219,7 @@ func New(cfg Config) (*Cluster, error) {
 			StalenessBound:     cfg.StalenessBound,
 			SeqTimeout:         cfg.SeqTimeout,
 			SeqObserver:        observer,
+			ApplyWorkers:       cfg.ApplyWorkers,
 		})
 		c.replicas = append(c.replicas, r)
 	}

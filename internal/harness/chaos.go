@@ -268,7 +268,10 @@ func runChaosPlan(plan chaosPlan, o Options) (ChaosResult, error) {
 		SeqTimeout:         300 * time.Millisecond,
 		StalenessBound:     100 * time.Millisecond,
 		SeqObserver:        checker.SeqObserver,
-		Seed:               seed,
+		// Parallel dependency-tracked apply, active in API/partitioned
+		// plans — the chaos suite doubles as its crash/resync soak.
+		ApplyWorkers: 8,
+		Seed:         seed,
 	})
 	if err != nil {
 		return res, err

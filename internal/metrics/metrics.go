@@ -370,6 +370,53 @@ func (s UtilSummary) String() string {
 	return fmt.Sprintf("mean=%.0f%% max=%.0f%%", s.Mean*100, s.Max*100)
 }
 
+// Gauge tracks an instantaneous level — e.g. apply workers currently
+// installing — with a high-watermark. The zero value is ready to use.
+type Gauge struct {
+	mu  sync.Mutex
+	cur int64
+	max int64
+}
+
+// Inc raises the level by one and returns the new value.
+func (g *Gauge) Inc() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cur++
+	if g.cur > g.max {
+		g.max = g.cur
+	}
+	return g.cur
+}
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() {
+	g.mu.Lock()
+	g.cur--
+	g.mu.Unlock()
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur
+}
+
+// High returns the high-watermark.
+func (g *Gauge) High() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// Reset zeroes the gauge and its high-watermark.
+func (g *Gauge) Reset() {
+	g.mu.Lock()
+	g.cur, g.max = 0, 0
+	g.mu.Unlock()
+}
+
 // Counter is a concurrent event counter.
 type Counter struct {
 	mu sync.Mutex

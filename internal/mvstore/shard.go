@@ -89,6 +89,33 @@ func (s *Store) activeStripeOf(txID uint64) *activeStripe {
 	return &s.activeStripes[uint32(txID)&s.stripeMask]
 }
 
+// StripeSig is a conservative key-set summary of a writeset: one bit
+// per (folded) store stripe touched. Two writesets whose signatures do
+// not intersect cannot share a row — they hash to disjoint stripes —
+// so their installs commute. Intersecting signatures may still be
+// disjoint key sets (hash collision); treating them as conflicting is
+// safe, merely less parallel. The parallel applier uses signatures to
+// build its dependency edges without materializing key sets.
+type StripeSig uint64
+
+// Intersects reports whether the two summaries share a stripe.
+func (a StripeSig) Intersects(b StripeSig) bool { return a&b != 0 }
+
+// Signature computes the stripe signature of a writeset using the same
+// FNV-1a striping that places its rows into data shards. Stripe counts
+// above 64 fold onto the 64 signature bits (still conservative).
+func (s *Store) Signature(ws *core.Writeset) StripeSig {
+	if ws == nil {
+		return 0
+	}
+	var sig StripeSig
+	for i := range ws.Ops {
+		op := &ws.Ops[i]
+		sig |= 1 << (itemHash(op.Table, op.Key) & s.stripeMask & 63)
+	}
+	return sig
+}
+
 // visibleVersion returns the newest version with seq <= snapshot. ok
 // is false if no such version exists or it is a deletion tombstone.
 func visibleVersion(versions []rowVersion, snapshot uint64) (rowVersion, bool) {

@@ -205,6 +205,14 @@ type Store struct {
 	// of installing stale values over newer ones.
 	applyGate sync.Mutex
 
+	// Deferred-publication labeled commits (CommitLabeledAsync):
+	// installed with a provisional sequence, awaiting their announce
+	// turn. pendList is sorted by from; drainPending publishes ready
+	// prefixes under applyGate. See async.go.
+	pendMu   sync.Mutex
+	pendList []*pendingCommit
+	pendTok  atomic.Uint64
+
 	// Waits-for deadlock graph: blocked tx → lock holder it waits on.
 	// Edges are added and removed only by the waiting transaction.
 	waitMu   sync.Mutex
@@ -298,9 +306,12 @@ func (s *Store) AnnouncedVersion() uint64 {
 }
 
 // SetAnnounced initializes the commit-order semaphore, used when a
-// recovered replica rejoins at a nonzero global version.
+// recovered replica rejoins at a nonzero global version. Advancing the
+// semaphore may make deferred-publication commits eligible, so the
+// pending drain runs after.
 func (s *Store) SetAnnounced(v uint64) {
 	s.advanceAnnounced(v)
+	s.drainPending()
 }
 
 // advanceAnnounced raises the commit-order semaphore and releases
@@ -792,6 +803,7 @@ func (s *Store) Crash() (walImage []byte, corrupt bool) {
 			s.killTx(tx)
 		}
 	}
+	s.sweepPending()
 	corrupt = s.corrupt()
 	s.log.Close()
 	return s.log.CrashImage(0), corrupt
@@ -821,5 +833,6 @@ func (s *Store) Close() {
 	close(s.crashCh)
 	s.crashMu.Unlock()
 	s.wakeAllOrderWaiters()
+	s.sweepPending()
 	s.log.Close()
 }

@@ -429,6 +429,12 @@ func (tx *Tx) applyCommit(announceTo uint64) error {
 	s.releaseItems(tx.id, held, true)
 	s.unregister(tx.id)
 	s.chargeCheckpoint(len(tx.writes))
+	if gated {
+		// The announce advance may have made deferred-publication
+		// commits (CommitLabeledAsync) eligible; publish them now that
+		// the gate is free.
+		s.drainPending()
+	}
 	return nil
 }
 

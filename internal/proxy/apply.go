@@ -308,16 +308,23 @@ func (p *Proxy) commitOrdered(ctx context.Context, t *Tx, req certifier.Request)
 			st.RemoteChunks += int64(len(chunks))
 		})
 	}
-	p.seq.exit(gen, resp.ReplicaSeq)
-
-	// Launch chunk applications concurrently.
-	for _, c := range chunks {
-		c := c
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			p.applyChunk(c)
-		}()
+	if p.sched != nil {
+		// Parallel applier: submit before releasing the sequencer, so
+		// scheduler windows arrive in ascending version order (the
+		// dependency analysis relies on it).
+		p.sched.submitChunks(chunks)
+		p.seq.exit(gen, resp.ReplicaSeq)
+	} else {
+		p.seq.exit(gen, resp.ReplicaSeq)
+		// Launch chunk applications concurrently.
+		for _, c := range chunks {
+			c := c
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.applyChunk(c)
+			}()
+		}
 	}
 
 	if !resp.Committed {
@@ -636,6 +643,13 @@ func (p *Proxy) Resync() error {
 		return p.resyncPartitioned()
 	}
 	p.addStat(func(st *Stats) { st.Resyncs++ })
+	if p.sched != nil {
+		// Withdraw installed-but-unpublished commits first: stuck
+		// pendings hold row locks without a timeout, and this serial
+		// catch-up needs those rows. Their ranges lie above the
+		// announce cursor, so the pull below re-fetches them.
+		p.cfg.Store.CancelPendings()
+	}
 	basis := p.cfg.Store.AnnouncedVersion()
 	resp, err := p.cfg.Cert.Pull(certifier.PullRequest{
 		Origin:         p.cfg.ReplicaID,
@@ -702,6 +716,10 @@ func (p *Proxy) applyResponse(epoch, seq uint64, remote []certifier.RemoteWS) er
 		}
 		p.advanceRV(maxRemote)
 		p.recordRemotes(remotes)
+		if p.sched != nil {
+			p.sched.submitChunks(chunks) // still inside the sequencer slot
+			return nil
+		}
 		for _, c := range chunks {
 			c := c
 			p.wg.Add(1)

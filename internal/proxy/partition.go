@@ -413,6 +413,9 @@ func (p *Proxy) afterApply(act partition.Action, viaHandle bool) *ownWait {
 // Own commits with a registered waiter commit through the waiting
 // handle. Returns false when the store crashed.
 func (p *Proxy) applyActions(acts []partition.Action) bool {
+	if p.sched != nil {
+		return p.applyActionsAsync(acts)
+	}
 	i := 0
 	for i < len(acts) {
 		act := acts[i]
@@ -459,6 +462,93 @@ func (p *Proxy) applyActions(acts []partition.Action) bool {
 		i = j
 	}
 	return true
+}
+
+// applyActionsAsync hands the drained run to the parallel applier:
+// each non-empty action becomes one scheduler entry (so disjoint
+// merged commits install concurrently instead of single-file), runs
+// of empty actions coalesce into hollow announce entries, and own
+// commits with a registered waiter still commit through the waiting
+// handle — after every previously submitted entry has published, so
+// the handle's synchronous labeled commit cannot announce past
+// installed-but-unpublished predecessors and discard them. The
+// per-entry completion callback performs the merger's vector/waiter
+// bookkeeping at publication time.
+func (p *Proxy) applyActionsAsync(acts []partition.Action) bool {
+	var batch []*applyEntry
+	mkDone := func(run []partition.Action) func(bool) {
+		return func(applied bool) {
+			if !applied {
+				return // abandoned; resync re-drives the merged stream
+			}
+			for _, a := range run {
+				if late := p.afterApply(a, false); late != nil {
+					late.ch <- ownDone{mv: a.MV, viaHandle: false}
+				}
+				if a.WS != nil && a.Origin != p.cfg.ReplicaID {
+					p.addStat(func(st *Stats) { st.RemoteApplied++ })
+				}
+			}
+		}
+	}
+	var hollowRun []partition.Action // actions of the trailing hollow entry
+	for _, act := range acts {
+		if w := p.takeWaiter(act); w != nil {
+			p.sched.submit(batch)
+			batch, hollowRun = nil, nil
+			if !p.applyOwnAsync(act, w) {
+				return false
+			}
+			continue
+		}
+		if act.WS == nil {
+			// Coalesce consecutive hollow actions (fill no-ops) into one
+			// announce entry; the merged versions are dense, so the run
+			// is contiguous.
+			if n := len(batch); n > 0 && batch[n-1].ws == nil && batch[n-1].to == act.MV-1 {
+				hollowRun = append(hollowRun, act)
+				batch[n-1].to = act.MV
+				batch[n-1].done = mkDone(hollowRun)
+				continue
+			}
+			hollowRun = []partition.Action{act}
+			batch = append(batch, &applyEntry{from: act.MV - 1, to: act.MV, done: mkDone(hollowRun)})
+			continue
+		}
+		hollowRun = nil
+		batch = append(batch, &applyEntry{
+			from: act.MV - 1, to: act.MV, ws: act.WS, done: mkDone([]partition.Action{act}),
+		})
+	}
+	p.sched.submit(batch)
+	return !p.sched.dead()
+}
+
+// applyOwnAsync waits for every submitted predecessor entry to publish
+// before committing a waiting client transaction through its handle
+// (see applyActionsAsync). The merger submits in merged order, so once
+// act.MV-1 is announced no unpublished pending can exist below the
+// commit's range.
+func (p *Proxy) applyOwnAsync(act partition.Action, w *ownWait) bool {
+	for {
+		err := p.cfg.Store.WaitAnnounced(act.MV-1, p.cfg.ChunkWaitTimeout)
+		if err == nil {
+			return p.applyOwn(act, w)
+		}
+		if errors.Is(err, mvstore.ErrCrashed) {
+			w.ch <- ownDone{mv: act.MV, viaHandle: false}
+			return false
+		}
+		select {
+		case <-p.stopCh:
+			w.ch <- ownDone{mv: act.MV, viaHandle: false}
+			return false
+		default:
+			// Like applyMergedRange, the merged stream is ground truth:
+			// keep waiting (a resync or superseded drain will move the
+			// cursor) until the store crashes or the proxy stops.
+		}
+	}
 }
 
 // applyMergedRange installs one coalesced writeset covering merged
@@ -767,6 +857,9 @@ func (p *Proxy) pullOncePartitioned() error {
 // reaches the pre-crash base.
 func (p *Proxy) resyncPartitioned() error {
 	p.addStat(func(st *Stats) { st.Resyncs++ })
+	if p.sched != nil {
+		p.cfg.Store.CancelPendings() // see Resync
+	}
 	base := p.cfg.Store.AnnouncedVersion()
 	deadline := time.Now().Add(30 * time.Second)
 	for {

@@ -141,6 +141,13 @@ type Config struct {
 	SeqObserver func(epoch, seq uint64, outcome string)
 	// ChunkWaitTimeout bounds artificial-conflict waits (0 = 5 s).
 	ChunkWaitTimeout time.Duration
+	// ApplyWorkers, when > 1, enables the dependency-tracked parallel
+	// applier (see schedule.go): labeled remote writesets are
+	// conflict-analyzed per store stripe, installed concurrently by
+	// this many workers, and published strictly in global order.
+	// Effective in Tashkent-API and partitioned modes; Base and
+	// Tashkent-MW keep the paper's serial apply discipline.
+	ApplyWorkers int
 	// Parts, when set, switches the proxy to partitioned certification
 	// (see internal/partition): commits route by partition across the
 	// topology's certifier groups, and Cert is ignored. Requires
@@ -180,6 +187,9 @@ type Proxy struct {
 	// part is the partitioned-certification state (nil in classic mode).
 	part *partState
 
+	// sched is the parallel applier (nil = serial legacy path).
+	sched *applyScheduler
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
@@ -209,6 +219,9 @@ func New(cfg Config) *Proxy {
 		lastRemote:    time.Now(),
 		stopCh:        make(chan struct{}),
 	}
+	if cfg.ApplyWorkers > 1 && (cfg.Mode == TashkentAPI || cfg.Parts != nil) {
+		p.sched = newApplyScheduler(p, cfg.ApplyWorkers)
+	}
 	if cfg.Parts != nil {
 		p.part = newPartState(cfg.Parts)
 		p.wg.Add(1)
@@ -231,6 +244,9 @@ func (p *Proxy) Close() {
 	p.closed = true
 	p.mu.Unlock()
 	close(p.stopCh)
+	if p.sched != nil {
+		p.sched.stop()
+	}
 	p.wg.Wait()
 }
 

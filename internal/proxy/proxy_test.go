@@ -330,8 +330,12 @@ func TestAPIGroupsCommitRecords(t *testing.T) {
 		}
 	}
 	s := logDisks[0].Stats()
-	if s.RecordsSynced < n {
-		t.Errorf("RecordsSynced = %d, want >= %d", s.RecordsSynced, n)
+	// A commit raced past by its own remote-applied copy supersedes and
+	// skips its record (the covering catch-up chunk logged it instead,
+	// possibly merged with neighbors), so discount those.
+	sup := r.stores[0].Stats().SupersededCommits
+	if s.RecordsSynced+sup < n {
+		t.Errorf("RecordsSynced = %d (+%d superseded), want >= %d", s.RecordsSynced, sup, n)
 	}
 	if s.Fsyncs >= n {
 		t.Errorf("%d fsyncs for %d concurrent ordered commits, want grouping", s.Fsyncs, n)

@@ -66,6 +66,9 @@ type Config struct {
 	// SeqObserver forwards proxy sequencer admissions to an invariant
 	// checker (see proxy.Config.SeqObserver).
 	SeqObserver func(epoch, seq uint64, outcome string)
+	// ApplyWorkers enables the parallel dependency-tracked applier with
+	// that many install workers (see proxy.Config.ApplyWorkers).
+	ApplyWorkers int
 }
 
 // ErrCrashed reports operations on a crashed, unrecovered replica.
@@ -144,6 +147,7 @@ func (r *Replica) newProxy(store *mvstore.Store) *proxy.Proxy {
 		SeqTimeout:         r.cfg.SeqTimeout,
 		SeqObserver:        r.cfg.SeqObserver,
 		Parts:              r.cfg.Parts,
+		ApplyWorkers:       r.cfg.ApplyWorkers,
 	})
 }
 
