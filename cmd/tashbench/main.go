@@ -15,6 +15,8 @@
 //	tashbench -exp chaos -seed 1 -seeds 20
 //	tashbench -exp gray -seed 1 -seeds 10
 //	tashbench -exp overload -measure 3s
+//	tashbench -exp wire -wireout BENCH_wire.json
+//	tashbench -exp smoke -daemons localhost:7200,localhost:7201,localhost:7202
 //
 // Experiments: fig4 (covers Fig 4+5), fig6 (6+7), fig8 (8+9),
 // fig10 (10+11), fig12 (12+13), fig14, standalone (§9.2 text),
@@ -30,7 +32,12 @@
 // disjoint stream vs the serial-gate baseline, a zipfian hot-key
 // conflicted stream, and apply-lag profiling under a 4-group
 // partitioned merged stream — the experiment behind BENCH_apply.json),
-// chaos (seeded
+// wire (the same update-heavy and read-mostly sweeps over the
+// in-memory fabric and over real localhost TCP sockets, plus binary
+// vs gob codec sizes — the experiment behind BENCH_wire.json; -wireout
+// writes the JSON), smoke (drives an externally launched tashd/certd
+// cluster given by -daemons: commits across every daemon, pulls to
+// convergence, asserts identical fingerprints), chaos (seeded
 // deterministic fault injection — partitions,
 // drops, duplicates, reorders, replica and certifier crash-restarts —
 // with a machine-checked safety-invariant verdict per seed; -seed
@@ -57,7 +64,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|partitions|applyscale|chaos|gray|overload|all")
+		exp      = flag.String("exp", "all", "experiment: fig4|fig6|fig8|fig10|fig12|fig14|standalone|recovery|policies|batching|readscale|partitions|applyscale|wire|smoke|chaos|gray|overload|all")
 		scale    = flag.Int("scale", 10, "divide paper disk latencies by this factor (1 = full 8ms fsyncs)")
 		replicas = flag.String("replicas", "1,2,4,8,12,15", "comma-separated replica counts to sweep")
 		clients  = flag.Int("clients", 10, "closed-loop clients per replica")
@@ -73,6 +80,10 @@ func main() {
 		chaosSeeds = flag.Int("seeds", 20, "number of consecutive seeds for -exp chaos/gray (starting at -seed)")
 		partitions = flag.String("partitions", "1,2,4,8",
 			"comma-separated certifier-group counts for -exp partitions")
+		daemons = flag.String("daemons", "",
+			"comma-separated tashd addresses for -exp smoke (externally launched cluster)")
+		wireOut = flag.String("wireout", "",
+			"write -exp wire results as JSON to this path (e.g. BENCH_wire.json)")
 	)
 	flag.Parse()
 
@@ -173,8 +184,29 @@ func main() {
 			return nil
 		},
 		"overload": func() error { _, err := harness.RunOverloadExperiment(opt); return err },
+		"wire": func() error {
+			rep, err := harness.RunWireExperiment(opt)
+			if err != nil {
+				return err
+			}
+			if *wireOut != "" {
+				cmd := fmt.Sprintf("go run ./cmd/tashbench -exp wire -scale %d -measure %v -warmup %v -seed %d", *scale, *measure, *warmup, *seed)
+				if err := rep.WriteJSON(*wireOut, cmd); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *wireOut)
+			}
+			return nil
+		},
+		"smoke": func() error {
+			addrs := splitPolicies(*daemons)
+			if len(addrs) == 0 {
+				return fmt.Errorf("-exp smoke needs -daemons host:port,host:port,...")
+			}
+			return harness.RunWireSmoke(addrs, opt)
+		},
 	}
-	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale", "partitions", "applyscale", "chaos", "gray", "overload"}
+	order := []string{"fig4", "fig6", "fig8", "fig10", "fig12", "fig14", "standalone", "recovery", "policies", "batching", "readscale", "partitions", "applyscale", "wire", "chaos", "gray", "overload"}
 
 	if *exp == "all" {
 		for _, name := range order {

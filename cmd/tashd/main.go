@@ -10,6 +10,12 @@
 // through the full replication protocol (certification, global
 // ordering, writeset propagation).
 //
+// Two admin methods (empty request payload) support multi-process
+// smoke tests and operations:
+//
+//	method "admin.stat"  response: gob(StatResp)   replication state
+//	method "admin.pull"  response: gob(PullResp)   one pull round
+//
 // Like the embedded client's RunTx executor, write requests absorb the
 // benign certification aborts of generalized snapshot isolation: the
 // daemon re-executes and re-commits with capped exponential backoff,
@@ -79,6 +85,17 @@ type TxnResp struct {
 	Aborted bool
 }
 
+// StatResp reports one replica's replication state. Fingerprints are
+// comparable across replicas only at equal Version.
+type StatResp struct {
+	Replica     int
+	Version     uint64 // announced (readable) global version
+	Fingerprint uint32 // CRC-32 over latest committed state
+}
+
+// PullResp reports the announced version after one pull round.
+type PullResp struct{ Version uint64 }
+
 func main() {
 	var (
 		id         = flag.Int("id", 1, "replica id (unique across replicas)")
@@ -125,7 +142,7 @@ func main() {
 		StalenessBound:     time.Second,
 	})
 
-	srv, err := transport.ServeTCP(*listen, handler(rep, *txnTimeout), 0)
+	srv, err := transport.ServeTCP(*listen, handler(rep, *id, *txnTimeout), 0)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
 		os.Exit(1)
@@ -139,11 +156,19 @@ func main() {
 	rep.Close()
 }
 
-func handler(rep *replica.Replica, txnTimeout time.Duration) transport.Handler {
+func handler(rep *replica.Replica, id int, txnTimeout time.Duration) transport.Handler {
 	return func(method string, req []byte) ([]byte, error) {
 		ctx, cancel := context.WithTimeout(context.Background(), txnTimeout)
 		defer cancel()
 		switch method {
+		case "admin.stat":
+			st := rep.Store()
+			return enc(StatResp{Replica: id, Version: st.AnnouncedVersion(), Fingerprint: st.Fingerprint()})
+		case "admin.pull":
+			if err := rep.Proxy().PullOnce(); err != nil {
+				return nil, err
+			}
+			return enc(PullResp{Version: rep.Store().AnnouncedVersion()})
 		case "kv.get":
 			var r GetReq
 			if err := dec(req, &r); err != nil {

@@ -4,6 +4,8 @@
 //	tashkv -addr localhost:7200 put accounts alice balance 100
 //	tashkv -addr localhost:7200 get accounts alice balance
 //	tashkv -addr localhost:7200 txn update:t:k1:v=1 read:t:k1 update:t:k2:v=2
+//	tashkv -addr localhost:7200 stat   # replication state (version, fingerprint)
+//	tashkv -addr localhost:7200 pull   # force one writeset pull round
 package main
 
 import (
@@ -39,6 +41,12 @@ type txnResp struct {
 	Reads   []map[string][]byte
 	Aborted bool
 }
+type statResp struct {
+	Replica     int
+	Version     uint64
+	Fingerprint uint32
+}
+type pullResp struct{ Version uint64 }
 
 func main() {
 	addr := flag.String("addr", "localhost:7200", "tashd address")
@@ -86,6 +94,16 @@ func main() {
 				}
 			}
 		}
+	case "stat":
+		var resp statResp
+		if err = adminCall(c, "admin.stat", &resp); err == nil {
+			fmt.Printf("replica=%d version=%d fingerprint=%08x\n", resp.Replica, resp.Version, resp.Fingerprint)
+		}
+	case "pull":
+		var resp pullResp
+		if err = adminCall(c, "admin.pull", &resp); err == nil {
+			fmt.Printf("version=%d\n", resp.Version)
+		}
 	default:
 		err = fmt.Errorf("unknown command %q", args[0])
 	}
@@ -128,6 +146,15 @@ func render(row map[string][]byte) string {
 		parts = append(parts, fmt.Sprintf("%s=%s", k, v))
 	}
 	return strings.Join(parts, " ")
+}
+
+// adminCall invokes a request-less admin method.
+func adminCall(c transport.Client, method string, resp interface{}) error {
+	b, err := c.Call(method, nil)
+	if err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(resp)
 }
 
 func call(c transport.Client, method string, req, resp interface{}) error {

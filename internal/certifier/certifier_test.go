@@ -375,7 +375,7 @@ func TestFollowerRedirects(t *testing.T) {
 		}
 	}
 	c := g.fabric.Dial(fmt.Sprintf("cert%d", follower))
-	req, _ := gobEncode(Request{Origin: 1, WSBytes: wsBytes("x")})
+	req, _ := encodeMsg(&Request{Origin: 1, WSBytes: wsBytes("x")})
 	_, err := c.Call(MethodCertify, req)
 	var rerr *transport.RemoteError
 	if !errors.As(err, &rerr) {

@@ -66,7 +66,7 @@ func (c *Client) Certify(req Request) (Response, error) {
 // and backoff sleeps wake on cancellation.
 func (c *Client) CertifyCtx(ctx context.Context, req Request) (Response, error) {
 	var resp Response
-	err := c.call(ctx, MethodCertify, req, &resp)
+	err := c.call(ctx, MethodCertify, &req, &resp)
 	return resp, err
 }
 
@@ -78,7 +78,7 @@ func (c *Client) Pull(req PullRequest) (PullResponse, error) {
 // PullCtx is Pull bounded by the caller's context.
 func (c *Client) PullCtx(ctx context.Context, req PullRequest) (PullResponse, error) {
 	var resp PullResponse
-	err := c.call(ctx, MethodPull, req, &resp)
+	err := c.call(ctx, MethodPull, &req, &resp)
 	return resp, err
 }
 
@@ -91,7 +91,7 @@ func (c *Client) Prepare(req PrepareRequest) (PrepareResponse, error) {
 // PrepareCtx is Prepare bounded by the caller's context.
 func (c *Client) PrepareCtx(ctx context.Context, req PrepareRequest) (PrepareResponse, error) {
 	var resp PrepareResponse
-	err := c.call(ctx, MethodPrepare, req, &resp)
+	err := c.call(ctx, MethodPrepare, &req, &resp)
 	return resp, err
 }
 
@@ -99,7 +99,7 @@ func (c *Client) PrepareCtx(ctx context.Context, req PrepareRequest) (PrepareRes
 // group's leader. Safe to retry: the first decision marker wins.
 func (c *Client) Resolve(req ResolveRequest) (ResolveResponse, error) {
 	var resp ResolveResponse
-	err := c.call(context.Background(), MethodResolve, req, &resp)
+	err := c.call(context.Background(), MethodResolve, &req, &resp)
 	return resp, err
 }
 
@@ -107,7 +107,7 @@ func (c *Client) Resolve(req ResolveRequest) (ResolveResponse, error) {
 // entries (deterministic-merge liveness; see Server.FillTo).
 func (c *Client) Fill(target uint64) (FillResponse, error) {
 	var resp FillResponse
-	err := c.call(context.Background(), MethodFill, FillRequest{Target: target}, &resp)
+	err := c.call(context.Background(), MethodFill, &FillRequest{Target: target}, &resp)
 	return resp, err
 }
 
@@ -151,7 +151,7 @@ func (c *Client) noteOutcome(reachable bool) {
 }
 
 func (c *Client) call(ctx context.Context, method string, req, resp interface{}) error {
-	payload, err := gobEncode(req)
+	payload, err := encodeMsg(req)
 	if err != nil {
 		return err
 	}
@@ -169,6 +169,14 @@ func (c *Client) call(ctx context.Context, method string, req, resp interface{})
 	target := int(c.leader.Load())
 	var lastErr error
 	backoff := time.Millisecond
+	// Reusable backoff timer: time.After in the retry select would leak
+	// a live timer on every ctx wakeup (same fix mvstore got in PR 3).
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for time.Now().Before(deadline) {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -176,11 +184,14 @@ func (c *Client) call(ctx context.Context, method string, req, resp interface{})
 		if target < 0 || target >= len(c.nodes) {
 			target = 0
 		}
-		respB, err := c.nodes[target].Call(method, payload)
+		// Propagate the retry-loop deadline: a TCP transport ships it to
+		// the server (which sheds stale requests) and stops waiting
+		// locally when it passes.
+		respB, err := transport.CallWithDeadline(c.nodes[target], method, payload, deadline)
 		if err == nil {
 			c.leader.Store(int64(target))
 			c.noteOutcome(true)
-			return gobDecode(respB, resp)
+			return decodeMsg(respB, resp)
 		}
 		lastErr = err
 		var rerr *transport.RemoteError
@@ -216,10 +227,17 @@ func (c *Client) call(ctx context.Context, method string, req, resp interface{})
 		default:
 			target = (target + 1) % len(c.nodes)
 		}
+		if timer == nil {
+			timer = time.NewTimer(backoff)
+		} else {
+			// Safe to Reset without draining: the only path that loops is
+			// the one that received from timer.C below.
+			timer.Reset(backoff)
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-timer.C:
 		}
 		if backoff < 50*time.Millisecond {
 			backoff *= 2

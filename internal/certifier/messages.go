@@ -351,7 +351,8 @@ func decodeEntryData(data []byte) (Entry, error) {
 	return e, err
 }
 
-// gobEncode/gobDecode delegate to the transport's pooled codec.
-func gobEncode(v interface{}) ([]byte, error) { return transport.GobEncode(v) }
+// encodeMsg/decodeMsg are the wire codec: binary fast path for the hot
+// certify/pull messages (see codec.go), tagged gob for the rest.
+func encodeMsg(v interface{}) ([]byte, error) { return transport.EncodeMessage(v) }
 
-func gobDecode(b []byte, v interface{}) error { return transport.GobDecode(b, v) }
+func decodeMsg(b []byte, v interface{}) error { return transport.DecodeMessage(b, v) }

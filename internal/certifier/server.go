@@ -1,6 +1,7 @@
 package certifier
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -303,54 +304,54 @@ func (s *Server) Handle(method string, req []byte) ([]byte, error) {
 		return s.node.HandleRPC(method, req)
 	case method == MethodCertify:
 		var r Request
-		if err := gobDecode(req, &r); err != nil {
+		if err := decodeMsg(req, &r); err != nil {
 			return nil, err
 		}
 		resp, err := s.certify(r)
 		if err != nil {
 			return nil, err
 		}
-		return gobEncode(resp)
+		return encodeMsg(&resp)
 	case method == MethodPull:
 		var r PullRequest
-		if err := gobDecode(req, &r); err != nil {
+		if err := decodeMsg(req, &r); err != nil {
 			return nil, err
 		}
 		resp, err := s.pull(r)
 		if err != nil {
 			return nil, err
 		}
-		return gobEncode(resp)
+		return encodeMsg(&resp)
 	case method == MethodPrepare:
 		var r PrepareRequest
-		if err := gobDecode(req, &r); err != nil {
+		if err := decodeMsg(req, &r); err != nil {
 			return nil, err
 		}
 		resp, err := s.Prepare(r)
 		if err != nil {
 			return nil, err
 		}
-		return gobEncode(resp)
+		return encodeMsg(&resp)
 	case method == MethodResolve:
 		var r ResolveRequest
-		if err := gobDecode(req, &r); err != nil {
+		if err := decodeMsg(req, &r); err != nil {
 			return nil, err
 		}
 		resp, err := s.Resolve(r)
 		if err != nil {
 			return nil, err
 		}
-		return gobEncode(resp)
+		return encodeMsg(&resp)
 	case method == MethodFill:
 		var r FillRequest
-		if err := gobDecode(req, &r); err != nil {
+		if err := decodeMsg(req, &r); err != nil {
 			return nil, err
 		}
 		head, err := s.FillTo(r.Target)
 		if err != nil {
 			return nil, err
 		}
-		return gobEncode(FillResponse{Head: head})
+		return encodeMsg(&FillResponse{Head: head})
 	default:
 		return nil, fmt.Errorf("certifier: unknown method %q", method)
 	}
@@ -502,18 +503,16 @@ func (s *Server) fillRemotesLocked(resp *Response, origin int, includeOwn bool, 
 // earlier term (the entry is identified by content, not by (index,
 // term)).
 func (s *Server) waitIndexCommitted(index uint64) error {
-	deadline := time.Now().Add(5 * time.Second)
-	for s.node.CommitIndex() < index {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("certifier: index %d not committed in time", index)
-		}
-		select {
-		case <-s.stopCh:
-			return paxos.ErrStopped
-		case <-time.After(200 * time.Microsecond):
-		}
+	// A condition wait on the node's commit broadcast — the previous
+	// 200µs timer poll allocated a timer per iteration on the hot
+	// certify path and put a scheduling-granularity floor under every
+	// wait. Node.Stop (called first by Server.Stop) broadcasts too, so
+	// shutdown wakes this without watching stopCh.
+	err := s.node.WaitCommittedIndex(index, 5*time.Second)
+	if errors.Is(err, paxos.ErrWaitTimeout) {
+		return fmt.Errorf("certifier: index %d not committed in time", index)
 	}
-	return nil
+	return err
 }
 
 // Prepare serves phase 1 of a cross-partition commit: conflict-check

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tashkent/internal/certifier"
+	"tashkent/internal/chaos"
 	"tashkent/internal/mvstore"
 	"tashkent/internal/partition"
 	"tashkent/internal/proxy"
@@ -56,6 +57,14 @@ type Config struct {
 	DedicatedIO bool
 	// NetDelay is the one-way LAN latency injected per message.
 	NetDelay time.Duration
+	// Transport selects the message fabric backend: "local" (default)
+	// keeps every link an in-process call — the deterministic fabric
+	// chaos interposers require — while "tcp" runs every
+	// replica↔certifier and certifier↔certifier link over real
+	// localhost sockets with the pooled multiplexing client. Replicas
+	// themselves stay in-process either way; multi-process deployments
+	// compose cmd/tashd and cmd/certd instead.
+	Transport string
 	// AbortRate injects certification aborts (Fig 14).
 	AbortRate float64
 	// CertTimeout bounds how long a replica's certifier client keeps
@@ -104,8 +113,12 @@ func (cfg Config) withDefaults() Config {
 
 // Cluster is a running replicated system.
 type Cluster struct {
-	cfg    Config
-	fabric *transport.LocalFabric
+	cfg Config
+	// fabric is the backend in use; localFab/tcpFab hold the concrete
+	// fabric (exactly one is non-nil) for backend-specific access.
+	fabric   transport.Fabric
+	localFab *transport.LocalFabric
+	tcpFab   *transport.TCPFabric
 	// certs holds every certifier node, flat across groups: group g
 	// owns indices [g*Certifiers, (g+1)*Certifiers). The classic
 	// single-group system is simply groups == 1.
@@ -146,7 +159,17 @@ func New(cfg Config) (*Cluster, error) {
 	if groups < 1 {
 		groups = 1
 	}
-	c := &Cluster{cfg: cfg, groups: groups, fabric: transport.NewLocalFabric(cfg.NetDelay)}
+	c := &Cluster{cfg: cfg, groups: groups}
+	switch cfg.Transport {
+	case "", "local":
+		c.localFab = transport.NewLocalFabric(cfg.NetDelay)
+		c.fabric = c.localFab
+	case "tcp":
+		c.tcpFab = transport.NewTCPFabric(cfg.NetDelay)
+		c.fabric = c.tcpFab
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %q (want local or tcp)", cfg.Transport)
+	}
 
 	// Certifier tier: one paxos group per partition (one group total in
 	// the classic system). Peer links stay within a group — the groups
@@ -313,20 +336,18 @@ func (c *Cluster) newTopology(i int) *partition.Topology {
 }
 
 func (c *Cluster) waitCertLeader(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		ready := 0
+	ok := chaos.WaitUntil(timeout, func() bool {
 		for g := 0; g < c.groups; g++ {
-			if c.GroupLeaderIndex(g) >= 0 {
-				ready++
+			if c.GroupLeaderIndex(g) < 0 {
+				return false
 			}
 		}
-		if ready == c.groups {
-			return nil
-		}
-		time.Sleep(2 * time.Millisecond)
+		return true
+	})
+	if !ok {
+		return errors.New("cluster: certifier leader election incomplete")
 	}
-	return errors.New("cluster: certifier leader election incomplete")
+	return nil
 }
 
 // Mode returns the configured system variant.
@@ -338,9 +359,20 @@ func (c *Cluster) Replicas() int { return len(c.replicas) }
 // Certifiers returns the certifier group size.
 func (c *Cluster) Certifiers() int { return len(c.certs) }
 
-// Fabric exposes the message fabric so a chaos harness can install a
-// fault-injecting interposer over every link.
-func (c *Cluster) Fabric() *transport.LocalFabric { return c.fabric }
+// Fabric exposes the in-process message fabric so a chaos harness can
+// install a fault-injecting interposer over every link. It is nil for
+// a TCP-transport cluster: fault injection stays on the deterministic
+// in-process fabric.
+func (c *Cluster) Fabric() *transport.LocalFabric { return c.localFab }
+
+// WireStats reports cumulative TCP wire traffic (zero value for the
+// in-process fabric, which has no wire).
+func (c *Cluster) WireStats() transport.WireStats {
+	if c.tcpFab == nil {
+		return transport.WireStats{}
+	}
+	return c.tcpFab.Stats()
+}
 
 // CertifierName and ReplicaName return the fabric endpoint names used
 // by the cluster's links — the vocabulary for link-level fault rules.
@@ -572,18 +604,26 @@ func (c *Cluster) Barrier(timeout time.Duration) (uint64, error) {
 // BarrierGroup commits a no-op entry in group g and returns the
 // resulting committed index.
 func (c *Cluster) BarrierGroup(g int, timeout time.Duration) (uint64, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		if leader := c.GroupLeader(g); leader != nil {
-			if idx, err := leader.Barrier(); err == nil {
-				return idx, nil
-			}
+	// Barrier() itself condition-waits on the commit; the retry loop
+	// only rides out election churn, so the cheap WaitUntil poll is the
+	// whole wait.
+	var idx uint64
+	ok := chaos.WaitUntil(timeout, func() bool {
+		leader := c.GroupLeader(g)
+		if leader == nil {
+			return false
 		}
-		if time.Now().After(deadline) {
-			return 0, fmt.Errorf("cluster: certifier barrier never committed in group %d", g)
+		i, err := leader.Barrier()
+		if err != nil {
+			return false
 		}
-		time.Sleep(2 * time.Millisecond)
+		idx = i
+		return true
+	})
+	if !ok {
+		return 0, fmt.Errorf("cluster: certifier barrier never committed in group %d", g)
 	}
+	return idx, nil
 }
 
 // SetAbortRate updates the injected abort rate on every certifier.
@@ -612,21 +652,24 @@ func (c *Cluster) ConvergeAll(timeout time.Duration) error {
 			return err
 		}
 	}
+	// Condition-wait on each store's commit-order announcement instead
+	// of polling AnnouncedVersion: the wait ends the instant the version
+	// lands. A slice timeout re-pulls as a nudge in case the in-flight
+	// stream stalled.
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		done := true
-		for _, r := range c.replicas {
-			if r.Store().AnnouncedVersion() < target {
-				done = false
-				break
+	for _, r := range c.replicas {
+		for r.Store().AnnouncedVersion() < target {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster: convergence to version %d timed out", target)
+			}
+			if err := r.Store().WaitAnnounced(target, 20*time.Millisecond); err != nil {
+				if perr := r.Proxy().PullOnce(); perr != nil {
+					return perr
+				}
 			}
 		}
-		if done {
-			return nil
-		}
-		time.Sleep(2 * time.Millisecond)
 	}
-	return fmt.Errorf("cluster: convergence to version %d timed out", target)
+	return nil
 }
 
 // convergeAllPartitioned drives a quiesced partitioned cluster to one
@@ -679,22 +722,22 @@ func (c *Cluster) convergeAllPartitioned(timeout time.Duration) error {
 		}
 	}
 
-	for time.Now().Before(deadline) {
-		done := true
-		for _, r := range c.replicas {
-			if r.Store().AnnouncedVersion() < target {
-				done = false
-				if err := r.Proxy().PullOnce(); err != nil {
-					return err
-				}
+	// Each lagging replica alternates a pull (the merge emits only what
+	// every group stream holds, so progress needs repeated pulls) with a
+	// condition-wait slice on its store's announcement — no fixed-period
+	// poll between pulls.
+	for _, r := range c.replicas {
+		for r.Store().AnnouncedVersion() < target {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster: convergence to merged version %d timed out", target)
 			}
+			if err := r.Proxy().PullOnce(); err != nil {
+				return err
+			}
+			_ = r.Store().WaitAnnounced(target, 5*time.Millisecond)
 		}
-		if done {
-			return nil
-		}
-		time.Sleep(2 * time.Millisecond)
 	}
-	return fmt.Errorf("cluster: convergence to merged version %d timed out", target)
+	return nil
 }
 
 // Fingerprints returns each replica's state fingerprint.
@@ -715,5 +758,8 @@ func (c *Cluster) Close() {
 		if c.certUp[i] {
 			s.Stop()
 		}
+	}
+	if c.tcpFab != nil {
+		c.tcpFab.Close()
 	}
 }

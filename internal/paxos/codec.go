@@ -1,0 +1,159 @@
+package paxos
+
+// Binary wire codecs for the replication hot path. Append rounds carry
+// every certified writeset to every backup — gob's per-message type
+// descriptor plus per-entry field names cost more than a small entry's
+// payload — so appendArgs/appendReply and the recovery fetch pair get
+// a fixed-layout binary form (transport.BinaryMessage). Vote traffic
+// is a handful of messages per election and stays on the gob fallback,
+// as do WAL records (a separate durable format, deliberately
+// untouched).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tashkent/internal/transport"
+)
+
+var (
+	_ transport.BinaryMessage = (*appendArgs)(nil)
+	_ transport.BinaryMessage = (*appendReply)(nil)
+	_ transport.BinaryMessage = (*fetchArgs)(nil)
+	_ transport.BinaryMessage = (*fetchReply)(nil)
+)
+
+var errShortMessage = errors.New("paxos: short binary message")
+
+// appendEntries: u32 count | per entry u64 index | u64 term |
+// u32 dataLen | data
+func appendEntries(buf []byte, entries []Entry) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	for i := range entries {
+		buf = binary.BigEndian.AppendUint64(buf, entries[i].Index)
+		buf = binary.BigEndian.AppendUint64(buf, entries[i].Term)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries[i].Data)))
+		buf = append(buf, entries[i].Data...)
+	}
+	return buf
+}
+
+func takeEntries(data []byte) ([]Entry, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, errShortMessage
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if n == 0 {
+		return nil, data, nil
+	}
+	if n > len(data)/20 { // each entry is at least 20 bytes
+		return nil, nil, fmt.Errorf("paxos: entry count %d exceeds payload", n)
+	}
+	out := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 20 {
+			return nil, nil, errShortMessage
+		}
+		out[i].Index = binary.BigEndian.Uint64(data)
+		out[i].Term = binary.BigEndian.Uint64(data[8:])
+		dlen := int(binary.BigEndian.Uint32(data[16:]))
+		data = data[20:]
+		if len(data) < dlen {
+			return nil, nil, errShortMessage
+		}
+		// Copy: appended entries live in the node's log indefinitely and
+		// must not pin whole transport frames.
+		out[i].Data = append([]byte(nil), data[:dlen]...)
+		data = data[dlen:]
+	}
+	return out, data, nil
+}
+
+// appendArgs: u64 term | u32 leaderID | u64 prevIndex | u64 prevTerm |
+// u64 commit | entries
+func (a *appendArgs) AppendBinary(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, a.Term)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.LeaderID))
+	buf = binary.BigEndian.AppendUint64(buf, a.PrevIndex)
+	buf = binary.BigEndian.AppendUint64(buf, a.PrevTerm)
+	buf = binary.BigEndian.AppendUint64(buf, a.Commit)
+	return appendEntries(buf, a.Entries)
+}
+
+func (a *appendArgs) DecodeBinary(data []byte) error {
+	if len(data) < 36 {
+		return errShortMessage
+	}
+	a.Term = binary.BigEndian.Uint64(data)
+	a.LeaderID = int(binary.BigEndian.Uint32(data[8:]))
+	a.PrevIndex = binary.BigEndian.Uint64(data[12:])
+	a.PrevTerm = binary.BigEndian.Uint64(data[20:])
+	a.Commit = binary.BigEndian.Uint64(data[28:])
+	entries, rest, err := takeEntries(data[36:])
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("paxos: %d trailing bytes after appendArgs", len(rest))
+	}
+	a.Entries = entries
+	return nil
+}
+
+// appendReply: u64 term | u8 ok | u64 match
+func (r *appendReply) AppendBinary(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, r.Term)
+	var ok byte
+	if r.OK {
+		ok = 1
+	}
+	buf = append(buf, ok)
+	return binary.BigEndian.AppendUint64(buf, r.Match)
+}
+
+func (r *appendReply) DecodeBinary(data []byte) error {
+	if len(data) != 17 {
+		return errShortMessage
+	}
+	r.Term = binary.BigEndian.Uint64(data)
+	r.OK = data[8]&1 != 0
+	r.Match = binary.BigEndian.Uint64(data[9:])
+	return nil
+}
+
+// fetchArgs: u64 from
+func (a *fetchArgs) AppendBinary(buf []byte) []byte {
+	return binary.BigEndian.AppendUint64(buf, a.From)
+}
+
+func (a *fetchArgs) DecodeBinary(data []byte) error {
+	if len(data) != 8 {
+		return errShortMessage
+	}
+	a.From = binary.BigEndian.Uint64(data)
+	return nil
+}
+
+// fetchReply: u64 commit | entries
+func (r *fetchReply) AppendBinary(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, r.Commit)
+	return appendEntries(buf, r.Entries)
+}
+
+func (r *fetchReply) DecodeBinary(data []byte) error {
+	if len(data) < 12 {
+		return errShortMessage
+	}
+	r.Commit = binary.BigEndian.Uint64(data)
+	entries, rest, err := takeEntries(data[8:])
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("paxos: %d trailing bytes after fetchReply", len(rest))
+	}
+	r.Entries = entries
+	return nil
+}

@@ -1,0 +1,146 @@
+package paxos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tashkent/internal/transport"
+)
+
+func randEntries(rng *rand.Rand) []Entry {
+	n := rng.Intn(6)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Entry, n)
+	for i := range out {
+		data := make([]byte, rng.Intn(80))
+		rng.Read(data)
+		if len(data) == 0 {
+			data = nil
+		}
+		out[i] = Entry{Index: rng.Uint64(), Term: rng.Uint64(), Data: data}
+	}
+	return out
+}
+
+func normEntries(e []Entry) []Entry {
+	if len(e) == 0 {
+		return nil
+	}
+	out := make([]Entry, len(e))
+	for i := range e {
+		out[i] = e[i]
+		if len(out[i].Data) == 0 {
+			out[i].Data = nil
+		}
+	}
+	return out
+}
+
+// TestPaxosCodecRoundTripFuzz drives randomized append/fetch messages
+// through the binary codec, checking exact equality and, for
+// appendArgs, equivalence with a forced gob decode of the same value.
+func TestPaxosCodecRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		args := &appendArgs{
+			Term: rng.Uint64(), LeaderID: rng.Intn(64),
+			PrevIndex: rng.Uint64(), PrevTerm: rng.Uint64(),
+			Entries: randEntries(rng), Commit: rng.Uint64(),
+		}
+		b, err := transport.EncodeMessage(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got appendArgs
+		if err := transport.DecodeMessage(b, &got); err != nil {
+			t.Fatal(err)
+		}
+		args.Entries, got.Entries = normEntries(args.Entries), normEntries(got.Entries)
+		if !reflect.DeepEqual(args, &got) {
+			t.Fatalf("appendArgs round trip: %+v != %+v", &got, args)
+		}
+		// Gob-path equivalence: the fallback decode of the same value
+		// must agree with the binary decode.
+		gobRaw, err := transport.GobEncode(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fromGob appendArgs
+		if err := transport.DecodeMessage(append([]byte{0x00}, gobRaw...), &fromGob); err != nil {
+			t.Fatal(err)
+		}
+		fromGob.Entries = normEntries(fromGob.Entries)
+		if !reflect.DeepEqual(&got, &fromGob) {
+			t.Fatalf("binary and gob decode disagree:\nbin: %+v\ngob: %+v", &got, &fromGob)
+		}
+
+		reply := &appendReply{Term: rng.Uint64(), OK: rng.Intn(2) == 0, Match: rng.Uint64()}
+		rb, err := transport.EncodeMessage(reply)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotReply appendReply
+		if err := transport.DecodeMessage(rb, &gotReply); err != nil {
+			t.Fatal(err)
+		}
+		if *reply != gotReply {
+			t.Fatalf("appendReply round trip: %+v != %+v", gotReply, *reply)
+		}
+
+		fr := &fetchReply{Entries: randEntries(rng), Commit: rng.Uint64()}
+		fb, err := transport.EncodeMessage(fr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotFetch fetchReply
+		if err := transport.DecodeMessage(fb, &gotFetch); err != nil {
+			t.Fatal(err)
+		}
+		fr.Entries, gotFetch.Entries = normEntries(fr.Entries), normEntries(gotFetch.Entries)
+		if !reflect.DeepEqual(fr, &gotFetch) {
+			t.Fatalf("fetchReply round trip: %+v != %+v", &gotFetch, fr)
+		}
+	}
+}
+
+// TestPaxosCodecDecodeCopiesEntryData pins the aliasing contract:
+// decoded entry data must not alias the incoming frame, because
+// entries live in the node's log long after the transport buffer is
+// gone.
+func TestPaxosCodecDecodeCopiesEntryData(t *testing.T) {
+	args := &appendArgs{Term: 1, Entries: []Entry{{Index: 1, Term: 1, Data: []byte{1, 2, 3}}}}
+	b, err := transport.EncodeMessage(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got appendArgs
+	if err := transport.DecodeMessage(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		b[i] = 0xFF // scribble over the frame
+	}
+	if !reflect.DeepEqual(got.Entries[0].Data, []byte{1, 2, 3}) {
+		t.Fatalf("entry data aliased the transport frame: %v", got.Entries[0].Data)
+	}
+}
+
+// TestPaxosCodecTruncation requires errors (not panics) on truncated
+// payloads.
+func TestPaxosCodecTruncation(t *testing.T) {
+	full, err := transport.EncodeMessage(&appendArgs{
+		Term: 5, Entries: []Entry{{Index: 1, Term: 5, Data: []byte("abc")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 41; cut++ { // header region: every cut must error
+		var a appendArgs
+		if err := transport.DecodeMessage(full[:cut], &a); err == nil {
+			t.Fatalf("truncated appendArgs (%d bytes) decoded without error", cut)
+		}
+	}
+}

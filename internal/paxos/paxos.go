@@ -405,6 +405,42 @@ func (n *Node) WaitCommitted(index, term uint64) error {
 	}
 }
 
+// ErrWaitTimeout reports that WaitCommittedIndex's bound elapsed
+// before the committed prefix reached the requested index.
+var ErrWaitTimeout = errors.New("paxos: commit wait timed out")
+
+// WaitCommittedIndex blocks until the committed prefix covers index,
+// the timeout elapses (ErrWaitTimeout), or the node stops. Unlike
+// WaitCommitted it does not pin a term: it serves idempotent retries
+// whose entry is identified by content, not by (index, term), and so
+// survives leadership changes. Commit advances broadcast n.cond, so
+// this is a real wait, not a poll.
+func (n *Node) WaitCommittedIndex(index uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	// sync.Cond has no timed wait: arm a broadcast to wake the loop at
+	// the deadline so it can observe the timeout.
+	timer := time.AfterFunc(timeout, func() {
+		n.mu.Lock()
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer timer.Stop()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if n.stopped {
+			return ErrStopped
+		}
+		if n.commitIndex >= index {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return ErrWaitTimeout
+		}
+		n.cond.Wait()
+	}
+}
+
 // maybeAdvanceCommitLocked applies the majority-ack commit rule: the
 // leader commits the highest index that (a) a majority of nodes —
 // counting itself via stableIndex — hold durably, and (b) belongs to

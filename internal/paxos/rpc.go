@@ -81,22 +81,25 @@ func (n *Node) HandleRPC(method string, req []byte) ([]byte, error) {
 	switch method {
 	case MethodVote:
 		var args voteArgs
-		if err := gobDecode(req, &args); err != nil {
+		if err := msgDecode(req, &args); err != nil {
 			return nil, err
 		}
-		return gobEncode(n.handleVote(args))
+		reply := n.handleVote(args)
+		return msgEncode(&reply)
 	case MethodAppend:
 		var args appendArgs
-		if err := gobDecode(req, &args); err != nil {
+		if err := msgDecode(req, &args); err != nil {
 			return nil, err
 		}
-		return gobEncode(n.handleAppend(args))
+		reply := n.handleAppend(args)
+		return msgEncode(&reply)
 	case MethodFetch:
 		var args fetchArgs
-		if err := gobDecode(req, &args); err != nil {
+		if err := msgDecode(req, &args); err != nil {
 			return nil, err
 		}
-		return gobEncode(n.handleFetch(args))
+		reply := n.handleFetch(args)
+		return msgEncode(&reply)
 	default:
 		return nil, fmt.Errorf("paxos: unknown method %q", method)
 	}
@@ -303,7 +306,7 @@ func (n *Node) handleFetch(args fetchArgs) fetchReply {
 func Fetch(peer interface {
 	Call(method string, req []byte) ([]byte, error)
 }, from uint64) ([]Entry, uint64, error) {
-	req, err := gobEncode(fetchArgs{From: from})
+	req, err := msgEncode(&fetchArgs{From: from})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -312,7 +315,7 @@ func Fetch(peer interface {
 		return nil, 0, err
 	}
 	var resp fetchReply
-	if err := gobDecode(respB, &resp); err != nil {
+	if err := msgDecode(respB, &resp); err != nil {
 		return nil, 0, err
 	}
 	return resp.Entries, resp.Commit, nil
@@ -336,7 +339,7 @@ func (n *Node) startElectionLocked() {
 	n.mu.Unlock()
 
 	args := voteArgs{Term: term, Candidate: n.cfg.ID, LastIndex: lastIdx, LastTerm: lastTerm}
-	req, err := gobEncode(args)
+	req, err := msgEncode(&args)
 	if err != nil {
 		return
 	}
@@ -354,7 +357,7 @@ func (n *Node) startElectionLocked() {
 				return
 			}
 			var resp voteReply
-			if err := gobDecode(respB, &resp); err != nil {
+			if err := msgDecode(respB, &resp); err != nil {
 				return
 			}
 			n.mu.Lock()
@@ -485,7 +488,7 @@ func (n *Node) replicateTo(peer int) {
 		client := n.cfg.Peers[peer]
 		n.mu.Unlock()
 
-		req, err := gobEncode(args)
+		req, err := msgEncode(&args)
 		if err != nil {
 			return
 		}
@@ -494,7 +497,7 @@ func (n *Node) replicateTo(peer int) {
 			return // peer down; heartbeat will retry
 		}
 		var resp appendReply
-		if err := gobDecode(respB, &resp); err != nil {
+		if err := msgDecode(respB, &resp); err != nil {
 			return
 		}
 
@@ -537,7 +540,15 @@ func (n *Node) replicateTo(peer int) {
 	}
 }
 
-// gobEncode/gobDecode delegate to the transport's pooled codec.
+// gobEncode/gobDecode delegate to the transport's pooled codec. They
+// remain the WAL record format (recEntry/recMeta payloads): durable
+// bytes deliberately do not share the wire codec's tag scheme.
 func gobEncode(v interface{}) ([]byte, error) { return transport.GobEncode(v) }
 
 func gobDecode(b []byte, v interface{}) error { return transport.GobDecode(b, v) }
+
+// msgEncode/msgDecode are the wire codec: binary fast path for the hot
+// append/fetch types, tagged gob for the rest.
+func msgEncode(v interface{}) ([]byte, error) { return transport.EncodeMessage(v) }
+
+func msgDecode(b []byte, v interface{}) error { return transport.DecodeMessage(b, v) }

@@ -1,0 +1,354 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPMidMessageDrop kills the server-side connection while calls
+// are in flight: every outstanding call must fail with ErrUnavailable,
+// none may hang.
+func TestTCPMidMessageDrop(t *testing.T) {
+	started := make(chan struct{}, 64)
+	block := make(chan struct{})
+	srv, err := ServeTCP("127.0.0.1:0", func(m string, req []byte) ([]byte, error) {
+		started <- struct{}{}
+		<-block
+		return req, nil
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DialTCP(srv.Addr())
+	defer c.Close()
+
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := c.Call("m", []byte("x"))
+			errs <- err
+		}()
+	}
+	// Wait until all calls are executing server-side, then drop every
+	// connection out from under them.
+	for i := 0; i < n; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("handlers did not start")
+		}
+	}
+	// Close kills the connections immediately but waits for in-flight
+	// handlers, which are parked on block — run it concurrently.
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrUnavailable) {
+				t.Errorf("call %d: err = %v, want ErrUnavailable", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("call hung after connection drop")
+		}
+	}
+	close(block)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server Close hung after handlers released")
+	}
+}
+
+// TestTCPReconnectAfterDrop drops the transport mid-stream via a
+// byte-mangling proxy (simulating a partial write), then verifies the
+// same client reconnects and resumes.
+func TestTCPReconnectAfterDrop(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Proxy that forwards bytes until told to cut, then kills both
+	// directions mid-stream.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var pmu sync.Mutex
+	var proxied []net.Conn
+	cut := func() {
+		pmu.Lock()
+		for _, c := range proxied {
+			c.Close()
+		}
+		proxied = nil
+		pmu.Unlock()
+	}
+	go func() {
+		for {
+			in, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			out, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				in.Close()
+				return
+			}
+			pmu.Lock()
+			proxied = append(proxied, in, out)
+			pmu.Unlock()
+			go io.Copy(out, in)
+			go io.Copy(in, out)
+		}
+	}()
+
+	c := DialTCP(ln.Addr().String())
+	defer c.Close()
+	if _, err := c.Call("m", []byte("before")); err != nil {
+		t.Fatalf("call before cut: %v", err)
+	}
+	cut()
+	// The next call(s) may observe the dead connection; the client must
+	// recover by redialing within the backoff budget.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := c.Call("m", []byte("after"))
+		if err == nil {
+			if string(resp) != "m:after" {
+				t.Fatalf("resp = %q after reconnect", resp)
+			}
+			break
+		}
+		if !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("unexpected error during reconnect: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never reconnected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := c.(*tcpClient).Stats(); s.Redials == 0 && s.Calls == 0 {
+		t.Errorf("stats not tracked: %+v", s)
+	}
+}
+
+// TestTCPDeadlineExpiryMidRPC starts a call whose handler outlives the
+// propagated deadline: the caller must get ErrDeadlineExceeded
+// promptly, and the connection must remain usable for later calls.
+func TestTCPDeadlineExpiryMidRPC(t *testing.T) {
+	release := make(chan struct{})
+	srv, err := ServeTCP("127.0.0.1:0", func(m string, req []byte) ([]byte, error) {
+		if m == "slow" {
+			<-release
+		}
+		return req, nil
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := DialTCP(srv.Addr()).(*tcpClient)
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.CallDeadline("slow", []byte("x"), time.Now().Add(20*time.Millisecond))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Errorf("deadline expiry took %v; should return promptly", took)
+	}
+	close(release)
+	// The abandoned call's late response must not poison the stream: a
+	// fresh call on the same pooled connection succeeds.
+	if _, err := c.Call("fast", []byte("y")); err != nil {
+		t.Errorf("call after abandoned RPC: %v", err)
+	}
+}
+
+// TestTCPServerShedsExpiredRequests verifies the server answers a
+// request whose propagated deadline already passed with
+// status=expired instead of running the handler.
+func TestTCPServerShedsExpiredRequests(t *testing.T) {
+	var ran sync.Map
+	srv, err := ServeTCP("127.0.0.1:0", func(m string, req []byte) ([]byte, error) {
+		ran.Store(m, true)
+		return req, nil
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := DialTCP(srv.Addr()).(*tcpClient)
+	defer c.Close()
+	// Warm the connection, then hand-roll a frame carrying a deadline
+	// in the past (CallDeadline would refuse to wait at all).
+	if _, err := c.Call("warm", nil); err != nil {
+		t.Fatal(err)
+	}
+	mc, err := c.conn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mc.roundTrip(999999, "expired-method", []byte("p"), time.Now().Add(-time.Second))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	// Give a shed-vs-run race a moment to settle, then check the
+	// handler never saw the expired method.
+	time.Sleep(50 * time.Millisecond)
+	if _, ok := ran.Load("expired-method"); ok {
+		t.Error("server ran a handler for an already-expired request")
+	}
+}
+
+// TestTCPRedialBackoffFailsFast verifies that while the server is
+// down, calls fail fast (no dial timeout per call) and that the client
+// recovers once the address listens again.
+func TestTCPRedialBackoffFailsFast(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c := DialTCP(addr).(*tcpClient)
+	defer c.Close()
+	if _, err := c.Call("m", nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	// Burn through the dead connection, then the first failed dial.
+	for i := 0; i < 4; i++ {
+		c.Call("m", nil)
+	}
+	// In the backoff window, calls must return quickly.
+	start := time.Now()
+	_, err = c.Call("m", nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Errorf("call during backoff took %v, want fail-fast", took)
+	}
+
+	// Restart on the same port and verify recovery within the backoff cap.
+	srv2, err := ServeTCP(addr, echoHandler, 0)
+	if err != nil {
+		t.Skipf("port %s not immediately reusable: %v", addr, err)
+	}
+	defer srv2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.Call("m", nil); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after server restart")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTCPGarbageFrame feeds the server a malformed frame and verifies
+// it drops the connection rather than crashing or hanging, and that a
+// well-formed client still works afterwards.
+func TestTCPGarbageFrame(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// frameLen beyond maxFrame: server must hang up.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(maxFrame+1))
+	raw.Write(hdr[:])
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Error("server kept a connection with an oversized frame open")
+	}
+	raw.Close()
+
+	c := DialTCP(srv.Addr())
+	defer c.Close()
+	if resp, err := c.Call("ok", []byte("z")); err != nil || !bytes.Equal(resp, []byte("ok:z")) {
+		t.Errorf("well-formed call after garbage: %q, %v", resp, err)
+	}
+}
+
+// TestTCPFabricServeDialRestart exercises the name-addressed fabric:
+// dial-before-serve, restart rebinding to a new port, Close teardown.
+func TestTCPFabricServeDialRestart(t *testing.T) {
+	f := NewTCPFabric(0)
+	defer f.Close()
+
+	c := f.DialFrom("r0", "cert0")
+	if _, err := c.Call("m", nil); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("dial-before-serve: err = %v, want ErrUnavailable", err)
+	}
+	f.Serve("cert0", func(string, []byte) ([]byte, error) { return []byte("v1"), nil })
+	if resp, err := c.Call("m", nil); err != nil || string(resp) != "v1" {
+		t.Fatalf("after serve: %q, %v", resp, err)
+	}
+	// Restart under the same name: the old listener closes, the client
+	// follows the name to the new port.
+	f.Serve("cert0", func(string, []byte) ([]byte, error) { return []byte("v2"), nil })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := c.Call("m", nil)
+		if err == nil && string(resp) == "v2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reached restarted server: %q, %v", resp, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := f.Stats(); s.Calls == 0 || s.BytesOut == 0 || s.BytesIn == 0 {
+		t.Errorf("fabric stats empty: %+v", s)
+	}
+	f.Close()
+	if _, err := c.Call("m", nil); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("call after fabric close: %v, want ErrUnavailable", err)
+	}
+}
+
+// TestTCPDeadlinePropagation checks CallWithDeadline reaches the TCP
+// client's deadline path and that LocalFabric clients (no
+// DeadlineCaller) still work through the shim.
+func TestTCPDeadlinePropagation(t *testing.T) {
+	srv, err := ServeTCP("127.0.0.1:0", echoHandler, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := DialTCP(srv.Addr())
+	defer c.Close()
+	if resp, err := CallWithDeadline(c, "m", []byte("a"), time.Now().Add(time.Second)); err != nil || string(resp) != "m:a" {
+		t.Errorf("CallWithDeadline over TCP: %q, %v", resp, err)
+	}
+
+	lf := NewLocalFabric(0)
+	defer lf.Serve("n", echoHandler).Close()
+	lc := lf.Dial("n")
+	if resp, err := CallWithDeadline(lc, "m", []byte("b"), time.Now().Add(time.Second)); err != nil || string(resp) != "m:b" {
+		t.Errorf("CallWithDeadline over local fabric: %q, %v", resp, err)
+	}
+}

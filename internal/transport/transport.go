@@ -10,12 +10,8 @@
 package transport
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
-	"net"
 	"sync"
 	"time"
 )
@@ -32,6 +28,23 @@ type Client interface {
 	Close() error
 }
 
+// DeadlineCaller is implemented by clients that can propagate a caller
+// deadline to the remote end and abandon the wait locally once it
+// passes. Callers holding a context deadline should prefer it over
+// Call so a dead client's request does not occupy a server slot.
+type DeadlineCaller interface {
+	CallDeadline(method string, req []byte, deadline time.Time) ([]byte, error)
+}
+
+// CallWithDeadline issues a call through c, propagating deadline when
+// the client supports it (zero deadline means none).
+func CallWithDeadline(c Client, method string, req []byte, deadline time.Time) ([]byte, error) {
+	if dc, ok := c.(DeadlineCaller); ok {
+		return dc.CallDeadline(method, req, deadline)
+	}
+	return c.Call(method, req)
+}
+
 // Server accepts requests until closed.
 type Server interface {
 	// Addr returns the listen address (the registered name for the
@@ -44,6 +57,11 @@ type Server interface {
 // ErrUnavailable reports that the remote endpoint cannot be reached or
 // has shut down. Callers treat it as a node failure.
 var ErrUnavailable = errors.New("transport: endpoint unavailable")
+
+// ErrDeadlineExceeded reports that a call's propagated deadline passed
+// before the response arrived. The request may still execute on the
+// server; the client has stopped waiting.
+var ErrDeadlineExceeded = errors.New("transport: call deadline exceeded")
 
 // Interposer intercepts every in-process call for fault injection
 // (internal/chaos). deliver performs the real round trip; an
@@ -60,6 +78,15 @@ type Interposer interface {
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// Fabric is the backend-neutral view of a message fabric: named
+// endpoints serving handlers, clients addressing them by name. The
+// in-process LocalFabric and the TCPFabric both implement it, which is
+// how cluster.Config selects the wire.
+type Fabric interface {
+	Serve(name string, h Handler) Server
+	DialFrom(from, name string) Client
+}
 
 // --- In-process fabric ---
 
@@ -181,262 +208,3 @@ func (c *localClient) deliver(method string, req []byte) ([]byte, error) {
 }
 
 func (c *localClient) Close() error { return nil }
-
-// --- TCP fabric ---
-//
-// Wire format, both directions length-prefixed:
-//
-//	request:  uint32 frameLen | uint16 methodLen | method | payload
-//	response: uint32 frameLen | uint8 status (0 ok, 1 err) | payload/error
-//
-// Each connection carries one request at a time; the client keeps a
-// small pool so concurrent callers get concurrent connections.
-
-const maxFrame = 64 << 20
-
-type tcpServer struct {
-	ln     net.Listener
-	h      Handler
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	delay  time.Duration
-}
-
-// ServeTCP starts a TCP server on addr (e.g. ":7001"); delay models
-// one-way LAN latency per message.
-func ServeTCP(addr string, h Handler, delay time.Duration) (Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &tcpServer{ln: ln, h: h, delay: delay, conns: make(map[net.Conn]struct{})}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
-}
-
-func (s *tcpServer) Addr() string { return s.ln.Addr().String() }
-
-func (s *tcpServer) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	// Unblock connection goroutines parked in readRequest: clients
-	// keep idle pooled connections open indefinitely.
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-func (s *tcpServer) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				conn.Close()
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-			}()
-			s.serveConn(conn)
-		}()
-	}
-}
-
-func (s *tcpServer) serveConn(conn net.Conn) {
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
-	for {
-		method, payload, err := readRequest(r)
-		if err != nil {
-			return
-		}
-		if s.delay > 0 {
-			time.Sleep(s.delay)
-		}
-		resp, herr := s.h(method, payload)
-		if s.delay > 0 {
-			time.Sleep(s.delay)
-		}
-		if err := writeResponse(w, resp, herr); err != nil {
-			return
-		}
-	}
-}
-
-func readRequest(r *bufio.Reader) (string, []byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return "", nil, err
-	}
-	frameLen := binary.BigEndian.Uint32(lenBuf[:])
-	if frameLen < 2 || frameLen > maxFrame {
-		return "", nil, fmt.Errorf("transport: bad frame length %d", frameLen)
-	}
-	frame := make([]byte, frameLen)
-	if _, err := io.ReadFull(r, frame); err != nil {
-		return "", nil, err
-	}
-	mlen := int(binary.BigEndian.Uint16(frame[:2]))
-	if 2+mlen > len(frame) {
-		return "", nil, errors.New("transport: bad method length")
-	}
-	return string(frame[2 : 2+mlen]), frame[2+mlen:], nil
-}
-
-func writeResponse(w *bufio.Writer, resp []byte, herr error) error {
-	var status byte
-	payload := resp
-	if herr != nil {
-		status = 1
-		payload = []byte(herr.Error())
-	}
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(1+len(payload)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	if err := w.WriteByte(status); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	return w.Flush()
-}
-
-type tcpClient struct {
-	addr   string
-	mu     sync.Mutex
-	idle   []*tcpConn
-	closed bool
-}
-
-type tcpConn struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-}
-
-// DialTCP returns a pooled client for the server at addr.
-func DialTCP(addr string) Client {
-	return &tcpClient{addr: addr}
-}
-
-func (c *tcpClient) get() (*tcpConn, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrUnavailable
-	}
-	if n := len(c.idle); n > 0 {
-		tc := c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
-		return tc, nil
-	}
-	c.mu.Unlock()
-	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
-	}
-	return &tcpConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
-}
-
-func (c *tcpClient) put(tc *tcpConn) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed || len(c.idle) >= 32 {
-		tc.conn.Close()
-		return
-	}
-	c.idle = append(c.idle, tc)
-}
-
-func (c *tcpClient) Call(method string, req []byte) ([]byte, error) {
-	tc, err := c.get()
-	if err != nil {
-		return nil, err
-	}
-	resp, err := tc.roundTrip(method, req)
-	if err != nil {
-		tc.conn.Close()
-		var rerr *RemoteError
-		if errors.As(err, &rerr) {
-			// Remote errors are application-level; the conn is fine,
-			// but simpler to drop it than to track half-states.
-			return nil, err
-		}
-		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
-	}
-	c.put(tc)
-	return resp, nil
-}
-
-func (tc *tcpConn) roundTrip(method string, req []byte) ([]byte, error) {
-	frameLen := 2 + len(method) + len(req)
-	if frameLen > maxFrame {
-		return nil, errors.New("transport: request too large")
-	}
-	var hdr [6]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(frameLen))
-	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(method)))
-	if _, err := tc.w.Write(hdr[:]); err != nil {
-		return nil, err
-	}
-	if _, err := tc.w.WriteString(method); err != nil {
-		return nil, err
-	}
-	if _, err := tc.w.Write(req); err != nil {
-		return nil, err
-	}
-	if err := tc.w.Flush(); err != nil {
-		return nil, err
-	}
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(tc.r, lenBuf[:]); err != nil {
-		return nil, err
-	}
-	respLen := binary.BigEndian.Uint32(lenBuf[:])
-	if respLen < 1 || respLen > maxFrame {
-		return nil, fmt.Errorf("transport: bad response length %d", respLen)
-	}
-	frame := make([]byte, respLen)
-	if _, err := io.ReadFull(tc.r, frame); err != nil {
-		return nil, err
-	}
-	if frame[0] == 1 {
-		return nil, &RemoteError{Msg: string(frame[1:])}
-	}
-	return frame[1:], nil
-}
-
-func (c *tcpClient) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.closed = true
-	for _, tc := range c.idle {
-		tc.conn.Close()
-	}
-	c.idle = nil
-	return nil
-}
